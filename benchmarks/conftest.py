@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one figure of the paper's evaluation section,
+prints its rows as a table, and asserts the figure's qualitative *shape*
+(who wins, what grows, where it flattens) — absolute numbers depend on the
+host and on our simulated substrate and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def emit(table: str) -> None:
+    """Print a table so ``pytest -s``/captured output carries the rows."""
+    print("\n" + table + "\n")

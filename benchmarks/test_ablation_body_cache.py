@@ -1,0 +1,42 @@
+"""Ablation: the DHT store's soft-state body cache.
+
+"Early prototypes of our system showed it was vital to reduce the number
+of messages sent between the update store and each participant."  With
+the cache ablated, transaction controllers re-ship full payloads every
+time an old antecedent reappears in a new chain, inflating traffic.
+"""
+
+from __future__ import annotations
+
+from repro.cdss import Simulation, SimulationConfig
+from repro.store import DhtUpdateStore
+from repro.workload import WorkloadConfig, curated_schema
+
+from benchmarks.conftest import emit
+
+
+def run(cache_bodies: bool) -> int:
+    store = DhtUpdateStore(curated_schema(), hosts=8, cache_bodies=cache_bodies)
+    config = SimulationConfig(
+        participants=8,
+        reconciliation_interval=2,
+        rounds=6,
+        workload=WorkloadConfig(transaction_size=1, insert_fraction=0.3, seed=21),
+    )
+    Simulation(config, store=store).run()
+    return store.perf.messages
+
+
+def test_ablation_body_cache_reduces_messages(benchmark):
+    cached = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    uncached = run(False)
+    emit(
+        "Ablation — DHT soft-state body cache:\n"
+        f"  messages with cache   : {cached}\n"
+        f"  messages without cache: {uncached}\n"
+        f"  saved                 : {uncached - cached} "
+        f"({100 * (uncached - cached) / uncached:.1f}%)"
+    )
+    assert cached < uncached
+    benchmark.extra_info["cached"] = cached
+    benchmark.extra_info["uncached"] = uncached

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: a three-peer collaborative data sharing system.
+
+Builds the smallest interesting CDSS — three bioinformatics curators
+sharing a protein-function table — and walks through local edits,
+publication, reconciliation, tolerated disagreement, and conflict
+resolution.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cdss import CDSS
+from repro.core import Resolution
+from repro.model import (
+    AttributeDef,
+    Insert,
+    Modify,
+    RelationSchema,
+    Schema,
+)
+from repro.store import MemoryUpdateStore
+
+
+def main() -> None:
+    # 1. A shared schema: protein functions, keyed by (organism, protein).
+    schema = Schema(
+        [
+            RelationSchema(
+                "F",
+                [
+                    AttributeDef("organism", str),
+                    AttributeDef("protein", str),
+                    AttributeDef("function", str),
+                ],
+                key=("organism", "protein"),
+            )
+        ]
+    )
+
+    # 2. An update store plus three participants who trust each other
+    #    equally (priority 1) — conflicts will need manual resolution.
+    cdss = CDSS(MemoryUpdateStore(schema))
+    alice, bob, carol = cdss.add_mutually_trusting_participants([1, 2, 3])
+
+    # 3. Alice curates a protein and shares her work.
+    alice.execute([Insert("F", ("rat", "prot1", "cell-metabolism"), alice.id)])
+    alice.execute(
+        [
+            Modify(
+                "F",
+                ("rat", "prot1", "cell-metabolism"),
+                ("rat", "prot1", "immune-response"),
+                alice.id,
+            )
+        ]
+    )
+    alice.publish_and_reconcile()
+    print("Alice's instance:", sorted(alice.instance.rows("F")))
+
+    # 4. Bob, who had independently curated the same protein differently,
+    #    publishes his version and reconciles.  He keeps his own value —
+    #    Alice's conflicting chain is rejected for *him*, but both
+    #    versions coexist in the system: this is tolerated disagreement.
+    bob.execute([Insert("F", ("rat", "prot1", "cell-respiration"), bob.id)])
+    result = bob.publish_and_reconcile()
+    print(f"Bob reconciled: {result.summary()}")
+    print("Bob's instance:  ", sorted(bob.instance.rows("F")))
+    print(f"State ratio across peers: {cdss.state_ratio():.2f}")
+
+    # 5. Carol trusts both equally, so she cannot pick a winner: the
+    #    conflicting transactions are deferred into a conflict group.
+    result = carol.publish_and_reconcile()
+    print(f"Carol reconciled: {result.summary()}")
+    for group in carol.open_conflicts():
+        print("Carol's open conflict:")
+        print(group.describe())
+
+    # 6. Carol resolves the conflict by hand, picking Alice's version.
+    [group] = carol.open_conflicts()
+    chosen = next(
+        index
+        for index, option in enumerate(group.options)
+        if option.effect == ("rat", "prot1", "immune-response")
+    )
+    result = carol.resolve([Resolution(group.group_id, chosen)])
+    print(f"Carol resolved:  {result.summary()}")
+    print("Carol's instance:", sorted(carol.instance.rows("F")))
+    print(f"Final state ratio: {cdss.state_ratio():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Trust policies in action: SWISS-PROT outranks GenBank.
+
+The paper motivates priorities with data authority: "SWISS-PROT is
+generally more reliable than NCBI GenBank because it is human-curated."
+This example builds a lab that imports from both archives, trusting the
+curated one at a higher priority, so conflicts between them resolve
+automatically — and shows a content-based acceptance rule (the lab audits
+anything touching its organism of interest at top priority from either
+source).
+
+Run with:  python examples/trust_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro.cdss import CDSS
+from repro.model import (
+    AttributeDef,
+    Insert,
+    Modify,
+    RelationSchema,
+    Schema,
+)
+from repro.policy import TrustPolicy, attribute_equals, origin_is, both
+from repro.store import MemoryUpdateStore
+
+SWISSPROT, GENBANK, LAB = 1, 2, 3
+
+
+def main() -> None:
+    schema = Schema(
+        [
+            RelationSchema(
+                "F",
+                [
+                    AttributeDef("organism", str),
+                    AttributeDef("protein", str),
+                    AttributeDef("function", str),
+                ],
+                key=("organism", "protein"),
+            )
+        ]
+    )
+    cdss = CDSS(MemoryUpdateStore(schema))
+
+    # The archives don't import from anyone in this scenario.
+    swissprot = cdss.add_participant(SWISSPROT, TrustPolicy())
+    genbank = cdss.add_participant(GENBANK, TrustPolicy())
+
+    # The lab: SWISS-PROT at priority 3, GenBank at priority 1 — except
+    # that the lab collaborates directly with GenBank's zebrafish curators
+    # and audits those imports itself, so GenBank's zebrafish data gets
+    # top priority (a content-and-origin acceptance rule).
+    lab_policy = (
+        TrustPolicy()
+        .trust_participant(SWISSPROT, 3)
+        .trust_participant(GENBANK, 1)
+        .trust(
+            both(
+                origin_is(GENBANK),
+                attribute_equals("F", "organism", "zebrafish"),
+            ),
+            5,
+        )
+    )
+    lab = cdss.add_participant(LAB, lab_policy)
+
+    # Both archives publish conflicting curation for the same protein.
+    genbank.execute([Insert("F", ("rat", "prot7", "transport"), GENBANK)])
+    genbank.execute([Insert("F", ("human", "protX", "signaling"), GENBANK)])
+    genbank.publish_and_reconcile()
+    swissprot.execute([Insert("F", ("rat", "prot7", "ion-transport"), SWISSPROT)])
+    swissprot.publish_and_reconcile()
+
+    # The lab reconciles: SWISS-PROT's higher priority wins the rat
+    # conflict automatically; GenBank's unopposed human tuple is accepted.
+    result = lab.publish_and_reconcile()
+    print("Lab reconciles conflicting archives:")
+    print(f"  accepted: {sorted(map(str, result.accepted))}")
+    print(f"  rejected: {sorted(map(str, result.rejected))}")
+    print(f"  instance: {sorted(lab.instance.rows('F'))}")
+    assert lab.instance.contains_row("F", ("rat", "prot7", "ion-transport"))
+    assert lab.instance.contains_row("F", ("human", "protX", "signaling"))
+    assert not lab.open_conflicts(), "priorities resolved everything"
+
+    # GenBank later revises a zebrafish entry.  Despite GenBank's low
+    # default standing, the content rule boosts it to priority 5 — it even
+    # outranks a conflicting SWISS-PROT zebrafish tuple.
+    swissprot.execute(
+        [Insert("F", ("zebrafish", "protZ", "fin-development"), SWISSPROT)]
+    )
+    swissprot.publish_and_reconcile()
+    genbank.execute(
+        [Insert("F", ("zebrafish", "protZ", "heart-development"), GENBANK)]
+    )
+    genbank.publish_and_reconcile()
+
+    result = lab.publish_and_reconcile()
+    print("\nLab reconciles the zebrafish dispute (content rule wins):")
+    print(f"  accepted: {sorted(map(str, result.accepted))}")
+    print(f"  rejected: {sorted(map(str, result.rejected))}")
+    row = lab.instance.get("F", ("zebrafish", "protZ"))
+    print(f"  zebrafish row: {row}")
+    assert row == ("zebrafish", "protZ", "heart-development")
+
+    print("\nTrust hierarchy behaved as configured.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""repro — a reproduction of Taylor & Ives, "Reconciling while Tolerating
+Disagreement in Collaborative Data Sharing" (SIGMOD 2006).
+
+The package implements the Orchestra collaborative data sharing system
+(CDSS) described in the paper: keyed relational instances, value-based
+updates grouped into transactions, trust policies, the client-centric
+reconciliation algorithm with deferral and conflict resolution, a central
+(sqlite-backed) update store, a simulated DHT-based distributed update
+store, the paper's synthetic SWISS-PROT workload generator, and the state
+ratio / timing metrics of the evaluation section.
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+from repro.errors import (
+    ConstraintViolation,
+    FlattenError,
+    NetworkError,
+    PolicyError,
+    PublicationError,
+    ReconciliationError,
+    ReproError,
+    ResolutionError,
+    SchemaError,
+    StoreError,
+    UnknownTransactionError,
+    UpdateError,
+    WorkloadError,
+)
+from repro.model import (
+    AttributeDef,
+    Delete,
+    ForeignKey,
+    Insert,
+    Modify,
+    RelationSchema,
+    Schema,
+    Transaction,
+    TransactionId,
+    Update,
+    flatten,
+    flatten_transactions,
+    make_transaction,
+    updates_conflict,
+)
+
+from repro.cdss import (
+    CDSS,
+    Participant,
+    Simulation,
+    SimulationConfig,
+)
+from repro.core import (
+    Decision,
+    ParticipantState,
+    ReconcileResult,
+    Reconciler,
+    Resolution,
+    resolve_conflicts,
+)
+from repro.instance import Instance, MemoryInstance, SqliteInstance
+from repro.metrics import state_ratio
+from repro.policy import (
+    AcceptanceRule,
+    TrustPolicy,
+    always,
+    attribute_equals,
+    origin_is,
+    policy_from_priorities,
+)
+from repro.store import (
+    CentralUpdateStore,
+    DhtUpdateStore,
+    MemoryUpdateStore,
+    UpdateStore,
+)
+from repro.workload import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    curated_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceptanceRule",
+    "CDSS",
+    "CentralUpdateStore",
+    "Decision",
+    "DhtUpdateStore",
+    "Instance",
+    "MemoryInstance",
+    "MemoryUpdateStore",
+    "Participant",
+    "ParticipantState",
+    "ReconcileResult",
+    "Reconciler",
+    "Resolution",
+    "Simulation",
+    "SimulationConfig",
+    "SqliteInstance",
+    "TrustPolicy",
+    "UpdateStore",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "always",
+    "attribute_equals",
+    "curated_schema",
+    "origin_is",
+    "policy_from_priorities",
+    "resolve_conflicts",
+    "state_ratio",
+    "AttributeDef",
+    "ConstraintViolation",
+    "Delete",
+    "FlattenError",
+    "ForeignKey",
+    "Insert",
+    "Modify",
+    "NetworkError",
+    "PolicyError",
+    "PublicationError",
+    "ReconciliationError",
+    "RelationSchema",
+    "ReproError",
+    "ResolutionError",
+    "Schema",
+    "SchemaError",
+    "StoreError",
+    "Transaction",
+    "TransactionId",
+    "UnknownTransactionError",
+    "Update",
+    "UpdateError",
+    "WorkloadError",
+    "flatten",
+    "flatten_transactions",
+    "make_transaction",
+    "updates_conflict",
+]

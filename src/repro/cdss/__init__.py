@@ -1,0 +1,24 @@
+"""CDSS orchestration: participants and whole-system drivers.
+
+* :class:`repro.cdss.participant.Participant` — one autonomous peer: a
+  local instance, a trust policy, a reconciler, and the publish /
+  reconcile / resolve lifecycle of Definition 1;
+* :class:`repro.cdss.system.CDSS` — a confederation of participants over
+  one update store;
+* :class:`repro.cdss.simulation.Simulation` — the evaluation-section
+  driver: seeded workload, round-robin publish-and-reconcile epochs,
+  metric collection.
+"""
+
+from repro.cdss.participant import Participant, ReconcileTiming
+from repro.cdss.simulation import Simulation, SimulationConfig, SimulationReport
+from repro.cdss.system import CDSS
+
+__all__ = [
+    "CDSS",
+    "Participant",
+    "ReconcileTiming",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationReport",
+]

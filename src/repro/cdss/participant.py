@@ -1,0 +1,261 @@
+"""One CDSS participant: local instance + policy + reconciliation lifecycle.
+
+A participant edits its local instance through :meth:`Participant.execute`
+(each call is one transaction), occasionally :meth:`Participant.publish`\\ es
+the accumulated transactions, and :meth:`Participant.reconcile`\\ s to import
+other peers' updates.  Publishing and reconciling are usually performed
+together (:meth:`Participant.publish_and_reconcile`), as the paper assumes.
+
+Every reconciliation records a :class:`ReconcileTiming` splitting the cost
+into *store* time (wall-clock spent inside update-store calls plus the
+simulated network latency those calls charged) and *local* time (the
+reconciliation algorithm itself) — the two bars of the paper's Figures 10
+and 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.decisions import ReconcileResult
+from repro.core.engine import Reconciler
+from repro.core.resolution import Resolution, resolve_conflicts
+from repro.core.state import ParticipantState
+from repro.errors import StoreError
+from repro.instance.base import Instance
+from repro.instance.memory import MemoryInstance
+from repro.model.transactions import Transaction, TransactionId
+from repro.model.updates import Update
+from repro.policy.acceptance import TrustPolicy
+from repro.store.base import UpdateStore
+
+
+@dataclass
+class ReconcileTiming:
+    """Cost breakdown of one reconciliation (or resolution re-run)."""
+
+    recno: int
+    store_seconds: float  # wall time inside store calls + simulated latency
+    local_seconds: float  # reconciliation algorithm time
+    store_messages: int  # messages the store exchanged on our behalf
+
+    @property
+    def total_seconds(self) -> float:
+        """Store plus local time."""
+        return self.store_seconds + self.local_seconds
+
+
+class Participant:
+    """One autonomous peer of the CDSS."""
+
+    def __init__(
+        self,
+        participant_id: int,
+        store: UpdateStore,
+        policy: TrustPolicy,
+        instance: Optional[Instance] = None,
+        network_centric: bool = False,
+        register: bool = True,
+    ) -> None:
+        """``network_centric=True`` delegates extension computation and
+        conflict detection to the store (Figure 3's network-centric mode);
+        requires a store that implements ``begin_network_reconciliation``.
+        ``register=False`` re-attaches to an existing registration (used by
+        :meth:`rebuild`)."""
+        self.id = participant_id
+        self.store = store
+        self.policy = policy
+        self.network_centric = network_centric
+        self.instance = instance or MemoryInstance(store.schema)
+        self.state = ParticipantState(participant_id)
+        self.reconciler = Reconciler(store.schema, self.instance, self.state)
+        self.timings: List[ReconcileTiming] = []
+        self._sequence = 0
+        self._unpublished: List[Transaction] = []
+        self._own_delta: List[Update] = []
+        if register:
+            store.register_participant(participant_id, policy)
+
+    @classmethod
+    def rebuild(
+        cls,
+        participant_id: int,
+        store: UpdateStore,
+        policy: TrustPolicy,
+        instance: Optional[Instance] = None,
+    ) -> "Participant":
+        """Reconstruct a participant entirely from the update store.
+
+        Section 5.2: "each client contains only soft state; it is possible
+        to reconstruct the entire state of the participant, up to his or
+        her last reconciliation, from the update store."  The applied
+        transactions are replayed in publish order into a fresh instance;
+        rejected and deferred sets are restored; deferred transactions'
+        bodies and antecedent graphs are refetched so their conflict
+        groups can be rebuilt by a follow-up reconciliation pass.
+        """
+        from repro.core.extensions import RelevantTransaction
+        from repro.store.logic import antecedent_closure
+
+        participant = cls(
+            participant_id, store, policy, instance, register=False
+        )
+        applied, rejected, deferred = store.decided_transactions(
+            participant_id
+        )
+        for transaction in applied:
+            participant.instance.apply_all(list(transaction.updates))
+            participant.state.record_applied([transaction.tid])
+            if transaction.origin == participant_id:
+                participant._sequence = max(
+                    participant._sequence, transaction.tid.sequence + 1
+                )
+        participant.state.record_rejected(rejected)
+
+        if deferred:
+            applied_set = set(participant.state.applied)
+            for tid in deferred:
+                transaction, _antes, order = store._nc_lookup(tid)
+                if transaction.origin == participant_id:  # pragma: no cover
+                    participant._sequence = max(
+                        participant._sequence, transaction.tid.sequence + 1
+                    )
+                closure = antecedent_closure(
+                    lambda t: store._nc_lookup(t)[1], [tid], stop=applied_set
+                )
+                for member in closure:
+                    body, antes, member_order = store._nc_lookup(member)
+                    participant.state.graph.add(body, antes, member_order)
+                participant.state.record_deferred(
+                    RelevantTransaction(
+                        transaction=transaction,
+                        priority=policy.priority_of(store.schema, transaction),
+                        order=order,
+                    ),
+                    recno=0,
+                )
+            # Rebuild soft state (dirty keys, conflict groups) from the
+            # deferred set without re-deciding anything — re-evaluation
+            # belongs to the next real reconciliation.
+            participant.reconciler.rebuild_soft_state()
+        participant.state.last_recno = store.last_reconciliation_epoch(
+            participant_id
+        )
+        return participant
+
+    # ------------------------------------------------------------------
+    # Local editing
+
+    def execute(self, updates: Sequence[Update]) -> Transaction:
+        """Run one local transaction: apply to the instance and queue it
+        for the next publication.  Raises
+        :class:`~repro.errors.ConstraintViolation` (and applies nothing)
+        if the updates do not fit the local instance.
+        """
+        updates = list(updates)
+        self.instance.apply_all(updates)
+        transaction = Transaction(
+            self._next_tid(), tuple(updates)
+        )
+        self._unpublished.append(transaction)
+        self._own_delta.extend(updates)
+        return transaction
+
+    def _next_tid(self) -> TransactionId:
+        tid = TransactionId(self.id, self._sequence)
+        self._sequence += 1
+        return tid
+
+    @property
+    def unpublished(self) -> Tuple[Transaction, ...]:
+        """Locally executed transactions not yet published."""
+        return tuple(self._unpublished)
+
+    # ------------------------------------------------------------------
+    # Publication and reconciliation
+
+    def publish(self) -> int:
+        """Publish all unpublished transactions; returns the epoch."""
+        transactions = self._unpublished
+        self._unpublished = []
+        epoch = self.store.publish(self.id, transactions)
+        self.state.record_applied([t.tid for t in transactions])
+        return epoch
+
+    def reconcile(self) -> ReconcileResult:
+        """Import other peers' updates (one ``ReconcileUpdates`` run)."""
+        perf_before = self.store.perf.snapshot()
+        store_start = time.perf_counter()
+        if self.network_centric:
+            batch = self.store.begin_network_reconciliation(self.id)
+        else:
+            batch = self.store.begin_reconciliation(self.id)
+        store_elapsed = time.perf_counter() - store_start
+
+        already_deferred = set(self.state.deferred)
+        local_start = time.perf_counter()
+        result = self.reconciler.reconcile(batch, own_updates=self._own_delta)
+        local_elapsed = time.perf_counter() - local_start
+
+        # The store only needs to hear about *newly* deferred transactions;
+        # ones it already recorded as deferred stay deferred.  (Re-deferral
+        # is the common case while a conflict awaits resolution, and
+        # re-notifying would cost a message pair per deferred transaction
+        # per reconciliation on the distributed store.)
+        upstream = ReconcileResult(
+            recno=result.recno,
+            accepted=result.accepted,
+            rejected=result.rejected,
+            deferred=[
+                tid for tid in result.deferred if tid not in already_deferred
+            ],
+            applied=result.applied,
+        )
+        store_start = time.perf_counter()
+        self.store.complete_reconciliation(self.id, upstream)
+        store_elapsed += time.perf_counter() - store_start
+
+        perf_delta = self.store.perf.minus(perf_before)
+        self.timings.append(
+            ReconcileTiming(
+                recno=result.recno,
+                store_seconds=store_elapsed + perf_delta.simulated_seconds,
+                local_seconds=local_elapsed,
+                store_messages=perf_delta.messages,
+            )
+        )
+        self._own_delta = []
+        return result
+
+    def publish_and_reconcile(self) -> ReconcileResult:
+        """The paper's combined step: publish, then reconcile."""
+        self.publish()
+        return self.reconcile()
+
+    # ------------------------------------------------------------------
+    # Conflict resolution
+
+    def open_conflicts(self):
+        """The participant's unresolved conflict groups."""
+        return self.state.open_conflicts()
+
+    def resolve(self, resolutions: Sequence[Resolution]) -> ReconcileResult:
+        """Resolve conflicts, re-reconcile, and report decisions upstream."""
+        result = resolve_conflicts(self.reconciler, list(resolutions))
+        self.store.complete_reconciliation(self.id, result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def total_store_seconds(self) -> float:
+        """Sum of store time across all reconciliations."""
+        return sum(t.store_seconds for t in self.timings)
+
+    def total_local_seconds(self) -> float:
+        """Sum of local reconciliation time across all reconciliations."""
+        return sum(t.local_seconds for t in self.timings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Participant(p{self.id}, {self.state!r})"

@@ -1,0 +1,165 @@
+"""The evaluation-section driver: seeded multi-peer simulations.
+
+Reproduces the experimental procedure of Section 6: ``n`` participants who
+all trust each other at equal priority edit their local curated databases
+(the synthetic SWISS-PROT workload), and every ``reconciliation_interval``
+transactions each publishes and reconciles.  Participants take turns in a
+fixed order, which matches the paper's global epoch ordering.
+
+The report collects the two metrics of the paper: the *state ratio* over
+the Function relation and per-participant reconciliation times split into
+store and local components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cdss.system import CDSS
+from repro.metrics.timing import TimingAggregate, aggregate_timings
+from repro.store.base import UpdateStore
+from repro.store.memory import MemoryUpdateStore
+from repro.workload.generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    curated_schema,
+)
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulated experiment run.
+
+    ``final_reconcile`` adds one reconcile-only pass (no publishing) at the
+    end of the schedule.  The timing experiments (Figures 10 and 12) enable
+    it so every published transaction is considered by every peer no matter
+    the reconciliation interval — otherwise configurations with few rounds
+    would simply deliver less data and report artificially low times.
+    """
+
+    participants: int = 10
+    reconciliation_interval: int = 4  # transactions between reconciliations
+    rounds: int = 4  # publish+reconcile cycles per participant
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    final_reconcile: bool = False
+
+
+@dataclass
+class SimulationReport:
+    """Everything a benchmark needs from one simulation run."""
+
+    config: SimulationConfig
+    state_ratio: float
+    timings: Dict[int, TimingAggregate]
+    transactions_published: int
+    store_messages: int
+
+    @property
+    def mean_total_seconds_per_participant(self) -> float:
+        """Average, over participants, of their total reconciliation time."""
+        if not self.timings:
+            return 0.0
+        totals = [agg.total_seconds for agg in self.timings.values()]
+        return sum(totals) / len(totals)
+
+    @property
+    def mean_store_seconds_per_participant(self) -> float:
+        """Average total store time per participant."""
+        if not self.timings:
+            return 0.0
+        totals = [agg.total_store_seconds for agg in self.timings.values()]
+        return sum(totals) / len(totals)
+
+    @property
+    def mean_local_seconds_per_participant(self) -> float:
+        """Average total local time per participant."""
+        if not self.timings:
+            return 0.0
+        totals = [agg.total_local_seconds for agg in self.timings.values()]
+        return sum(totals) / len(totals)
+
+    @property
+    def mean_seconds_per_reconciliation(self) -> float:
+        """Average time of a single reconciliation across all peers."""
+        count = sum(agg.reconciliations for agg in self.timings.values())
+        if count == 0:
+            return 0.0
+        total = sum(agg.total_seconds for agg in self.timings.values())
+        return total / count
+
+    @property
+    def mean_store_seconds_per_reconciliation(self) -> float:
+        """Average store time of a single reconciliation."""
+        count = sum(agg.reconciliations for agg in self.timings.values())
+        if count == 0:
+            return 0.0
+        total = sum(agg.total_store_seconds for agg in self.timings.values())
+        return total / count
+
+    @property
+    def mean_local_seconds_per_reconciliation(self) -> float:
+        """Average local time of a single reconciliation."""
+        count = sum(agg.reconciliations for agg in self.timings.values())
+        if count == 0:
+            return 0.0
+        total = sum(agg.total_local_seconds for agg in self.timings.values())
+        return total / count
+
+
+class Simulation:
+    """One runnable experiment: a CDSS, a workload, and a schedule."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        store: Optional[UpdateStore] = None,
+        store_factory: Optional[Callable[[], UpdateStore]] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        if store is not None and store_factory is not None:
+            raise ValueError("pass either a store or a store_factory, not both")
+        if store is None:
+            factory = store_factory or (
+                lambda: MemoryUpdateStore(curated_schema())
+            )
+            store = factory()
+        self.cdss = CDSS(store)
+        self.generator = WorkloadGenerator(self.config.workload)
+        self.cdss.add_mutually_trusting_participants(
+            list(range(1, self.config.participants + 1))
+        )
+        self._transactions_published = 0
+
+    def run(self) -> SimulationReport:
+        """Execute the full schedule and return the report."""
+        for _round in range(self.config.rounds):
+            for participant in self.cdss.participants:
+                self._edit_and_sync(participant)
+        if self.config.final_reconcile:
+            for participant in self.cdss.participants:
+                participant.reconcile()
+        return self.report()
+
+    def _edit_and_sync(self, participant) -> None:
+        for _ in range(self.config.reconciliation_interval):
+            updates = self.generator.transaction_updates(
+                participant.id, participant.instance
+            )
+            if updates:
+                participant.execute(updates)
+                self._transactions_published += 1
+        participant.publish_and_reconcile()
+
+    def report(self) -> SimulationReport:
+        """Metrics of the run so far."""
+        return SimulationReport(
+            config=self.config,
+            state_ratio=self.cdss.state_ratio(relation="F"),
+            timings={
+                p.id: aggregate_timings(p.timings)
+                for p in self.cdss.participants
+            },
+            transactions_published=self._transactions_published,
+            store_messages=self.cdss.store.perf.messages,
+        )

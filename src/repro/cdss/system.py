@@ -1,0 +1,87 @@
+"""A whole CDSS: participants sharing one schema and one update store."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cdss.participant import Participant
+from repro.errors import StoreError
+from repro.instance.base import Instance
+from repro.metrics.state_ratio import state_ratio
+from repro.policy.acceptance import TrustPolicy
+from repro.store.base import UpdateStore
+
+
+class CDSS:
+    """A confederation of participants over one update store.
+
+    Convenience wrapper: creates participants, tracks them by id, and
+    exposes system-wide metrics (the evaluation section's *state ratio*).
+    """
+
+    def __init__(self, store: UpdateStore) -> None:
+        self.store = store
+        self._participants: Dict[int, Participant] = {}
+
+    @property
+    def schema(self):
+        """The shared schema."""
+        return self.store.schema
+
+    def add_participant(
+        self,
+        participant_id: int,
+        policy: TrustPolicy,
+        instance: Optional[Instance] = None,
+    ) -> Participant:
+        """Create and register a participant."""
+        if participant_id in self._participants:
+            raise StoreError(
+                f"participant {participant_id} already exists in this CDSS"
+            )
+        participant = Participant(
+            participant_id, self.store, policy, instance
+        )
+        self._participants[participant_id] = participant
+        return participant
+
+    def add_mutually_trusting_participants(
+        self, ids: Sequence[int], priority: int = 1
+    ) -> List[Participant]:
+        """The evaluation-section setup: everyone trusts everyone equally.
+
+        Equal priorities mean conflicts "must be manually rather than
+        automatically resolved" — the configuration all the paper's
+        experiments use.
+        """
+        participants = []
+        for pid in ids:
+            policy = TrustPolicy()
+            for other in ids:
+                if other != pid:
+                    policy.trust_participant(other, priority)
+            participants.append(self.add_participant(pid, policy))
+        return participants
+
+    def participant(self, participant_id: int) -> Participant:
+        """Look up a participant by id."""
+        try:
+            return self._participants[participant_id]
+        except KeyError:
+            raise StoreError(
+                f"no participant {participant_id} in this CDSS"
+            ) from None
+
+    @property
+    def participants(self) -> List[Participant]:
+        """All participants, ordered by id."""
+        return [self._participants[pid] for pid in sorted(self._participants)]
+
+    def state_ratio(self, relation: Optional[str] = None) -> float:
+        """The evaluation's state ratio across all participants."""
+        return state_ratio(
+            {p.id: p.instance for p in self.participants}, relation=relation
+        )
+
+    def __len__(self) -> int:
+        return len(self._participants)

@@ -1,0 +1,108 @@
+"""Append-only reconciliation (Section 4.1, Definition 2).
+
+In the append-only model every transaction contains only insertions, so
+each published transaction can be considered independently: it is accepted
+iff no conflicting transaction of equal or higher priority was published in
+the same epoch batch, and it does not conflict with anything previously
+applied (equivalently, with the current instance).
+
+This is both a baseline for the general algorithm and the semantics the
+paper uses to introduce the problem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import UpdateError
+from repro.instance.base import Instance
+from repro.model.schema import Schema
+from repro.model.transactions import Transaction, TransactionId
+from repro.model.updates import Insert, updates_conflict
+
+from repro.core.decisions import Decision, ReconcileResult
+
+
+def _ensure_append_only(transaction: Transaction) -> None:
+    for update in transaction:
+        if not isinstance(update, Insert):
+            raise UpdateError(
+                f"append-only reconciliation got non-insert update {update} "
+                f"in {transaction.tid}"
+            )
+
+
+def _transactions_conflict(
+    schema: Schema, left: Transaction, right: Transaction
+) -> bool:
+    return any(
+        updates_conflict(schema, lu, ru) for lu in left for ru in right
+    )
+
+
+def reconcile_append_only(
+    schema: Schema,
+    instance: Instance,
+    batch: Sequence[Tuple[Transaction, int]],
+    recno: int = 0,
+) -> ReconcileResult:
+    """Apply one epoch batch of insert-only transactions to ``instance``.
+
+    ``batch`` pairs each transaction with its priority ``pri_i`` for the
+    reconciling participant; untrusted transactions (priority 0) are
+    rejected outright.  Per Definition 2, a transaction is accepted iff
+
+    * it is trusted,
+    * no other transaction in the batch conflicts with it at equal or
+      higher priority, and
+    * it does not conflict with previously applied state (its inserts are
+      compatible with the instance).
+
+    There is no deferral in the append-only model: both sides of an
+    equal-priority conflict are rejected.
+    """
+    for transaction, _priority in batch:
+        _ensure_append_only(transaction)
+
+    result = ReconcileResult(recno=recno)
+    decisions: Dict[TransactionId, Decision] = {}
+
+    accepted: List[Transaction] = []
+    for transaction, priority in batch:
+        if priority <= 0:
+            decisions[transaction.tid] = Decision.REJECT
+            continue
+        blocked = False
+        for other, other_priority in batch:
+            if other.tid == transaction.tid:
+                continue
+            if other_priority >= priority and _transactions_conflict(
+                schema, transaction, other
+            ):
+                blocked = True
+                break
+        if blocked:
+            decisions[transaction.tid] = Decision.REJECT
+            continue
+        if not instance.can_apply_all(list(transaction.updates)):
+            decisions[transaction.tid] = Decision.REJECT
+            continue
+        decisions[transaction.tid] = Decision.ACCEPT
+        accepted.append(transaction)
+
+    for transaction in accepted:
+        # Accepted transactions are mutually conflict-free, but a batch can
+        # still contain duplicate inserts of the same row; apply tolerantly.
+        if instance.can_apply_all(list(transaction.updates)):
+            instance.apply_all(list(transaction.updates))
+            result.updates_applied += len(transaction.updates)
+            result.accepted.append(transaction.tid)
+            result.applied.append(transaction.tid)
+        else:  # pragma: no cover - duplicate-row corner
+            decisions[transaction.tid] = Decision.REJECT
+
+    result.rejected = [
+        tid for tid, verdict in decisions.items() if verdict is Decision.REJECT
+    ]
+    result.decisions = decisions
+    return result

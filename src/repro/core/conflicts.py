@@ -1,0 +1,287 @@
+"""Direct-conflict detection between update extensions; conflict groups.
+
+Definition 4: two transactions *directly conflict* iff, after removing the
+transactions their extensions share, some update in one flattened footprint
+conflicts with some update in the other.
+
+``FindConflicts`` in the paper uses hash-based detection to stay within
+O(t^2 + t*u*a).  We do the same: extensions are indexed by the qualified
+keys they write or consume, so only extensions sharing a key are compared,
+and the pairwise comparison re-flattens only when the extensions actually
+share member transactions.
+
+This module also defines :class:`ConflictGroup` and :class:`Option` — the
+structures ``UpdateSoftState`` records for deferred transactions so a user
+can later resolve each conflict by picking at most one option per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.flatten import flatten
+from repro.model.schema import Schema
+from repro.model.transactions import TransactionId
+from repro.model.tuples import QualifiedKey
+from repro.model.updates import Delete, Insert, Modify, Update, updates_conflict
+
+from repro.core.extensions import TransactionGraph, UpdateExtension, update_footprint
+
+
+def classify_conflict(left: Update, right: Update) -> str:
+    """A human-readable conflict *type*, used to group conflicts.
+
+    The paper groups conflicts "with the same type that involve the same
+    key value" into conflict groups.
+    """
+    kinds = sorted((_kind(left), _kind(right)))
+    return "/".join(kinds)
+
+
+def _kind(update: Update) -> str:
+    if isinstance(update, Insert):
+        return "insert"
+    if isinstance(update, Delete):
+        return "delete"
+    return "replace"
+
+
+def _index_by_key(
+    schema: Schema, ops: Sequence[Update]
+) -> Dict[QualifiedKey, List[Update]]:
+    """Index updates by every qualified key they touch."""
+    index: Dict[QualifiedKey, List[Update]] = {}
+    for update in ops:
+        for key in update.keys_touched(schema):
+            index.setdefault(key, []).append(update)
+    return index
+
+
+def _conflict_points(
+    schema: Schema,
+    left_ops: Sequence[Update],
+    right_ops: Sequence[Update],
+    left_index: Optional[Dict[QualifiedKey, List[Update]]] = None,
+    right_index: Optional[Dict[QualifiedKey, List[Update]]] = None,
+) -> List[Tuple[str, QualifiedKey]]:
+    """All ``(type, key)`` pairs at which two footprints conflict.
+
+    Updates can only conflict when they touch a shared key, so candidates
+    are drawn from the key-index intersection (the paper's "hash
+    table-based conflict detection").
+    """
+    if left_index is None:
+        left_index = _index_by_key(schema, left_ops)
+    if right_index is None:
+        right_index = _index_by_key(schema, right_ops)
+    points: List[Tuple[str, QualifiedKey]] = []
+    for key in left_index.keys() & right_index.keys():
+        for left in left_index[key]:
+            for right in right_index[key]:
+                if updates_conflict(schema, left, right):
+                    point = (classify_conflict(left, right), key)
+                    if point not in points:
+                        points.append(point)
+    return points
+
+
+def direct_conflict_points(
+    schema: Schema,
+    graph: TransactionGraph,
+    left: UpdateExtension,
+    right: UpdateExtension,
+    left_index: Optional[Dict[QualifiedKey, List[Update]]] = None,
+    right_index: Optional[Dict[QualifiedKey, List[Update]]] = None,
+) -> List[Tuple[str, QualifiedKey]]:
+    """Definition 4, reporting *where* the extensions conflict.
+
+    Shared member transactions are excluded from both sides before
+    comparing; when the extensions share nothing, the precomputed flattened
+    operations (and, if given, their key indexes) are compared directly.
+    """
+    shared = left.member_set() & right.member_set()
+    if not shared:
+        return _conflict_points(
+            schema, left.operations, right.operations, left_index, right_index
+        )
+    left_members = [tid for tid in left.members if tid not in shared]
+    right_members = [tid for tid in right.members if tid not in shared]
+    if not left_members or not right_members:
+        return []
+    left_ops = flatten(schema, update_footprint(graph, left_members))
+    right_ops = flatten(schema, update_footprint(graph, right_members))
+    return _conflict_points(schema, left_ops, right_ops)
+
+
+def directly_conflict(
+    schema: Schema,
+    graph: TransactionGraph,
+    left: UpdateExtension,
+    right: UpdateExtension,
+) -> bool:
+    """True if the two extensions directly conflict (Definition 4)."""
+    return bool(direct_conflict_points(schema, graph, left, right))
+
+
+def find_conflicts(
+    schema: Schema,
+    graph: TransactionGraph,
+    extensions: Dict[TransactionId, UpdateExtension],
+) -> Dict[TransactionId, Set[TransactionId]]:
+    """The paper's ``FindConflicts``: pairwise direct conflicts.
+
+    Returns a symmetric adjacency map.  Pairs where one extension subsumes
+    the other are skipped (Figure 5, FindConflicts line 4).  A key index
+    over the flattened operations keeps the common case near-linear.
+    """
+    conflicts: Dict[TransactionId, Set[TransactionId]] = {
+        tid: set() for tid in extensions
+    }
+
+    indexes: Dict[TransactionId, Dict[QualifiedKey, List[Update]]] = {
+        tid: _index_by_key(schema, extension.operations)
+        for tid, extension in extensions.items()
+    }
+    by_key: Dict[QualifiedKey, List[TransactionId]] = {}
+    for tid, index in indexes.items():
+        for key in index:
+            by_key.setdefault(key, []).append(tid)
+
+    # A dict used as an insertion-ordered set keeps iteration deterministic
+    # without a global sort over all candidate pairs.
+    candidate_pairs: Dict[Tuple[TransactionId, TransactionId], None] = {}
+    for tids in by_key.values():
+        for i, left in enumerate(tids):
+            for right in tids[i + 1 :]:
+                pair = (left, right) if left < right else (right, left)
+                candidate_pairs[pair] = None
+
+    for left_tid, right_tid in candidate_pairs:
+        left, right = extensions[left_tid], extensions[right_tid]
+        if left.subsumes(right) or right.subsumes(left):
+            continue
+        points = direct_conflict_points(
+            schema,
+            graph,
+            left,
+            right,
+            indexes[left_tid],
+            indexes[right_tid],
+        )
+        if points:
+            conflicts[left_tid].add(right_tid)
+            conflicts[right_tid].add(left_tid)
+    return conflicts
+
+
+# ----------------------------------------------------------------------
+# Conflict groups and options (deferred-transaction bookkeeping)
+
+
+@dataclass
+class Option:
+    """Transactions within a conflict group that make the same modification.
+
+    Accepting an option means accepting all of its transactions (they are
+    mutually compatible at the conflicting key); the other options' sole
+    transactions are rejected.  ``effect`` describes the modification: the
+    row written, or None for a deletion.
+    """
+
+    transactions: Tuple[TransactionId, ...]
+    effect: Optional[Tuple]
+
+    def describe(self) -> str:
+        """Human-readable description for resolution UIs."""
+        txns = ", ".join(str(t) for t in self.transactions)
+        if self.effect is None:
+            return f"delete the row [{txns}]"
+        return f"set row to {self.effect!r} [{txns}]"
+
+
+@dataclass
+class ConflictGroup:
+    """Conflicts of one type at one key value (Section 5, "conflict groups").
+
+    At most one option may be accepted when the group is resolved.
+    """
+
+    kind: str
+    key: QualifiedKey
+    options: List[Option] = field(default_factory=list)
+
+    @property
+    def group_id(self) -> Tuple[str, QualifiedKey]:
+        """The ``(type, value)`` identifier the paper indexes groups by."""
+        return (self.kind, self.key)
+
+    def transactions(self) -> List[TransactionId]:
+        """All transactions involved in this group."""
+        tids: List[TransactionId] = []
+        for option in self.options:
+            tids.extend(option.transactions)
+        return tids
+
+    def describe(self) -> str:
+        """Human-readable description for resolution UIs."""
+        lines = [f"{self.kind} conflict at {self.key[0]}{self.key[1]!r}:"]
+        for index, option in enumerate(self.options):
+            lines.append(f"  [{index}] {option.describe()}")
+        return "\n".join(lines)
+
+
+def _effect_at_key(
+    schema: Schema, extension: UpdateExtension, key: QualifiedKey
+) -> Optional[Tuple]:
+    """What an extension leaves at ``key``: the written row or None.
+
+    Used to decide whether two deferred transactions belong to the same
+    option (they "make the same modification to the key value").
+    """
+    for update in extension.operations:
+        written = update.written_row()
+        if written is not None:
+            rel = schema.relation(update.relation)
+            if (update.relation, rel.key_of(written)) == key:
+                return written
+    return None
+
+
+def build_conflict_groups(
+    schema: Schema,
+    graph: TransactionGraph,
+    deferred: Dict[TransactionId, UpdateExtension],
+) -> Dict[Tuple[str, QualifiedKey], ConflictGroup]:
+    """The grouping step of ``UpdateSoftState`` (Figure 5, lines 7-16).
+
+    Finds conflicts among the deferred extensions, groups them by
+    ``(type, key)``, and combines compatible transactions (same effect at
+    the key) into shared options.
+    """
+    adjacency = find_conflicts(schema, graph, deferred)
+    members: Dict[Tuple[str, QualifiedKey], Set[TransactionId]] = {}
+    for tid, neighbours in adjacency.items():
+        for other in neighbours:
+            if other < tid:
+                continue  # handle each unordered pair once
+            points = direct_conflict_points(
+                schema, graph, deferred[tid], deferred[other]
+            )
+            for point in points:
+                members.setdefault(point, set()).update((tid, other))
+
+    groups: Dict[Tuple[str, QualifiedKey], ConflictGroup] = {}
+    for (kind, key), tids in members.items():
+        by_effect: Dict[object, List[TransactionId]] = {}
+        for tid in sorted(tids):
+            effect = _effect_at_key(schema, deferred[tid], key)
+            by_effect.setdefault(effect, []).append(tid)
+        options = [
+            Option(transactions=tuple(tids_for_effect), effect=effect)
+            for effect, tids_for_effect in sorted(
+                by_effect.items(), key=lambda item: repr(item[0])
+            )
+        ]
+        groups[(kind, key)] = ConflictGroup(kind=kind, key=key, options=options)
+    return groups

@@ -1,0 +1,321 @@
+"""The client-centric ``ReconcileUpdates`` algorithm (Figures 4 and 5).
+
+One :class:`Reconciler` belongs to one participant.  Each call to
+:meth:`Reconciler.reconcile` processes one reconciliation batch:
+
+1. merge the batch's transactions into the participant's graph cache and
+   gather the roots to consider — newly delivered trusted transactions
+   plus every previously deferred transaction (they are reconsidered on
+   every run, as in the paper);
+2. compute each root's flattened update extension (Definition 3);
+3. ``CheckState`` — defer roots touching dirty values, reject roots whose
+   extension contains an already-rejected transaction, is incompatible
+   with the local instance, or conflicts with the participant's own
+   just-published delta;
+4. ``FindConflicts`` — pairwise direct conflicts (Definition 4), skipping
+   subsumed pairs;
+5. ``DoGroup`` per priority level in decreasing order — reject roots that
+   conflict with accepted higher-priority roots, defer roots that conflict
+   with deferred higher-priority roots, and defer both sides of any
+   conflict inside one priority level;
+6. apply the accepted roots' extensions (recomputing against the ``Used``
+   set so overlapping antecedents are applied exactly once);
+7. ``UpdateSoftState`` — rebuild the dirty-value set and conflict groups
+   from the transactions that remain deferred.
+
+The dirty-value test in step 3 applies only to roots that were *not*
+already deferred: previously deferred roots are exactly the transactions
+whose keys are dirty, and they must be re-evaluated on their own merits so
+that conflict resolution can eventually accept them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConstraintViolation, FlattenError
+from repro.instance.base import Instance
+from repro.model.flatten import flatten
+from repro.model.schema import Schema
+from repro.model.transactions import TransactionId
+from repro.model.updates import Update, updates_conflict
+
+from repro.core.conflicts import build_conflict_groups, find_conflicts
+from repro.core.decisions import Decision, ReconcileResult
+from repro.core.extensions import (
+    ReconciliationBatch,
+    RelevantTransaction,
+    UpdateExtension,
+    compute_update_extension,
+    update_footprint,
+)
+from repro.core.state import ParticipantState
+
+
+class Reconciler:
+    """Runs client-centric reconciliation for one participant."""
+
+    def __init__(
+        self, schema: Schema, instance: Instance, state: ParticipantState
+    ) -> None:
+        self._schema = schema
+        self._instance = instance
+        self._state = state
+
+    @property
+    def state(self) -> ParticipantState:
+        """The participant's reconciliation bookkeeping."""
+        return self._state
+
+    # ------------------------------------------------------------------
+
+    def reconcile(
+        self,
+        batch: ReconciliationBatch,
+        own_updates: Sequence[Update] = (),
+    ) -> ReconcileResult:
+        """Run one reconciliation (the paper's ``ReconcileUpdates``).
+
+        ``own_updates`` is the participant's own delta for this epoch —
+        updates it published together with this reconciliation, already in
+        its instance.  Extensions conflicting with it are rejected: the
+        participant always prefers its own version (CheckState line 7).
+        """
+        state = self._state
+        state.graph.merge(batch.graph)
+
+        previously_deferred = set(state.deferred)
+        roots = self._gather_roots(batch)
+        result = ReconcileResult(recno=batch.recno)
+
+        extensions: Dict[TransactionId, UpdateExtension] = {}
+        decision: Dict[TransactionId, Decision] = {}
+        own_delta = list(flatten(self._schema, own_updates)) if own_updates else []
+
+        # Figure 4 lines 5-8: flattened extensions and CheckState.  In
+        # network-centric mode the store precomputed the extensions (and
+        # must have covered every root, deferred ones included); any root
+        # it missed falls back to local computation.
+        precomputed = batch.extensions if batch.network_centric else None
+        for root in roots:
+            extension = None
+            if precomputed is not None:
+                extension = precomputed.get(root.tid)
+            if extension is None:
+                try:
+                    extension = compute_update_extension(
+                        self._schema, state.graph, root, state.applied
+                    )
+                except FlattenError:
+                    # An internally inconsistent chain can never be applied.
+                    decision[root.tid] = Decision.REJECT
+                    continue
+            extensions[root.tid] = extension
+            decision[root.tid] = self._check_state(
+                extension,
+                own_delta,
+                dirty_exempt=root.tid in previously_deferred,
+            )
+
+        # Figure 4 line 9 (store-side in network-centric mode).
+        if batch.network_centric and set(batch.conflicts) >= set(extensions):
+            conflicts = batch.conflicts
+        else:
+            conflicts = find_conflicts(self._schema, state.graph, extensions)
+
+        # Figure 4 lines 10-12: greedy, by decreasing priority.
+        priorities = sorted({root.priority for root in roots}, reverse=True)
+        roots_by_tid = {root.tid: root for root in roots}
+        for priority in priorities:
+            self._do_group(priority, roots_by_tid, conflicts, decision)
+
+        # Figure 4 lines 13-19: record decisions and apply accepted roots.
+        self._apply_accepted(roots, extensions, decision, result)
+
+        # Bookkeeping for rejected and deferred roots.  A root that was
+        # rejected or deferred *as a proposal* may still have been applied
+        # as a member of another accepted extension in this same run (its
+        # intermediate state was revised away by a longer trusted chain);
+        # "applied" is then the operative verdict — Definition 5 only
+        # excludes rejections recorded in earlier epochs.
+        for root in roots:
+            if root.tid in state.applied:
+                continue
+            verdict = decision.get(root.tid)
+            if verdict is Decision.REJECT:
+                state.record_rejected([root.tid])
+                result.rejected.append(root.tid)
+            elif verdict is Decision.DEFER:
+                state.record_deferred(root, batch.recno)
+                result.deferred.append(root.tid)
+        result.decisions = dict(decision)
+
+        # Figure 4 line 21: UpdateSoftState.
+        self._update_soft_state(result)
+
+        state.last_recno = batch.recno
+        return result
+
+    # ------------------------------------------------------------------
+    # Step 1: roots
+
+    def _gather_roots(
+        self, batch: ReconciliationBatch
+    ) -> List[RelevantTransaction]:
+        """New trusted roots plus reconsidered deferred roots, in order."""
+        state = self._state
+        roots: Dict[TransactionId, RelevantTransaction] = {}
+        for root in state.deferred_roots():
+            roots[root.tid] = root
+        for root in batch.roots:
+            if state.is_decided(root.tid):
+                continue  # the store should not re-deliver, but be safe
+            roots.setdefault(root.tid, root)
+        return sorted(roots.values(), key=lambda r: r.order)
+
+    # ------------------------------------------------------------------
+    # Step 3: CheckState (Figure 5)
+
+    def _check_state(
+        self,
+        extension: UpdateExtension,
+        own_delta: Sequence[Update],
+        dirty_exempt: bool,
+    ) -> Decision:
+        state = self._state
+        if not dirty_exempt and extension.touched & state.dirty_keys:
+            return Decision.DEFER
+        if any(member in state.rejected for member in extension.members):
+            return Decision.REJECT
+        if not self._instance.can_apply_set(list(extension.operations)):
+            return Decision.REJECT
+        for update in extension.operations:
+            for own in own_delta:
+                if updates_conflict(self._schema, update, own):
+                    return Decision.REJECT
+        return Decision.ACCEPT
+
+    # ------------------------------------------------------------------
+    # Step 5: DoGroup (Figure 5)
+
+    def _do_group(
+        self,
+        priority: int,
+        roots_by_tid: Dict[TransactionId, RelevantTransaction],
+        conflicts: Dict[TransactionId, Set[TransactionId]],
+        decision: Dict[TransactionId, Decision],
+    ) -> None:
+        group = [
+            tid
+            for tid, root in roots_by_tid.items()
+            if root.priority == priority and decision.get(tid) is not Decision.REJECT
+        ]
+        higher = {
+            tid
+            for tid, root in roots_by_tid.items()
+            if root.priority > priority
+        }
+        # Lines 4-12: interactions with higher-priority roots.
+        surviving: List[TransactionId] = []
+        for tid in sorted(group):
+            for other in conflicts.get(tid, ()):  # noqa: B007
+                if other not in higher:
+                    continue
+                if decision.get(other) is Decision.ACCEPT:
+                    decision[tid] = Decision.REJECT
+                    break
+                if decision.get(other) is Decision.DEFER:
+                    decision[tid] = Decision.DEFER
+            if decision.get(tid) is not Decision.REJECT:
+                surviving.append(tid)
+        # Lines 13-17: conflicts inside the priority group defer both sides.
+        for i, tid in enumerate(surviving):
+            for other in surviving[i + 1 :]:
+                if other in conflicts.get(tid, ()):
+                    decision[tid] = Decision.DEFER
+                    decision[other] = Decision.DEFER
+
+    # ------------------------------------------------------------------
+    # Step 6: application (Figure 4 lines 14-19)
+
+    def _apply_accepted(
+        self,
+        roots: Sequence[RelevantTransaction],
+        extensions: Dict[TransactionId, UpdateExtension],
+        decision: Dict[TransactionId, Decision],
+        result: ReconcileResult,
+    ) -> None:
+        state = self._state
+        accepted = [
+            root for root in roots if decision.get(root.tid) is Decision.ACCEPT
+        ]
+        accepted_ids = {root.tid for root in accepted}
+
+        # Roots are processed in publish order with a shared ``Used`` set, so
+        # overlapping antecedents are applied exactly once.  (The paper
+        # iterates only maximal roots; processing every accepted root in
+        # order with residual extensions is equivalent — an antecedent root
+        # applied first simply leaves nothing extra for its dependents.)
+        used: Set[TransactionId] = set()
+        for root in sorted(accepted, key=lambda r: r.order):
+            extension = extensions[root.tid]
+            residual = [tid for tid in extension.members if tid not in used]
+            operations = flatten(
+                self._schema, update_footprint(state.graph, residual)
+            )
+            try:
+                self._instance.apply_set(operations)
+            except ConstraintViolation:
+                # Accepted extensions are mutually conflict-free, so this
+                # indicates overlapping chains beyond what the conflict
+                # rules model; rejecting is the safe, documented fallback.
+                decision[root.tid] = Decision.REJECT
+                accepted_ids.discard(root.tid)
+                continue
+            used.update(residual)
+            result.updates_applied += len(operations)
+
+        # Everything applied (roots and antecedents) becomes "applied".
+        applied_now: Set[TransactionId] = set(used)
+        for root in accepted:
+            if root.tid in accepted_ids:
+                applied_now.update(extensions[root.tid].members)
+                result.accepted.append(root.tid)
+        state.record_applied(applied_now)
+        result.applied = sorted(applied_now, key=state.graph.order_of)
+
+    def rebuild_soft_state(self) -> None:
+        """Recompute dirty values and conflict groups from the current
+        deferred set without re-deciding anything.
+
+        Used by state reconstruction (:meth:`Participant.rebuild`): the
+        deferred transactions' standing must not be re-evaluated against
+        an instance that may have moved on since they were deferred —
+        that re-evaluation belongs to the next real reconciliation.
+        """
+        self._update_soft_state(ReconcileResult(recno=self._state.last_recno))
+
+    # ------------------------------------------------------------------
+    # Step 7: UpdateSoftState (Figure 5)
+
+    def _update_soft_state(self, result: ReconcileResult) -> None:
+        state = self._state
+        deferred_extensions: Dict[TransactionId, UpdateExtension] = {}
+        for root in state.deferred_roots():
+            try:
+                deferred_extensions[root.tid] = compute_update_extension(
+                    self._schema, state.graph, root, state.applied
+                )
+            except FlattenError:  # pragma: no cover - defensive
+                continue
+        dirty: Set = set()
+        for extension in deferred_extensions.values():
+            dirty.update(extension.touched)
+        groups = build_conflict_groups(
+            self._schema, state.graph, deferred_extensions
+        )
+        state.replace_soft_state(dirty, groups)
+        result.conflict_groups = [
+            (group_id, len(group.options))
+            for group_id, group in sorted(groups.items(), key=lambda kv: repr(kv[0]))
+        ]

@@ -1,0 +1,227 @@
+"""Antecedents, transaction extensions, and update extensions.
+
+Definition 3 of the paper: participant ``i``'s *transaction extension* of
+``X``, reconciled in epoch ``e``, is the transitive closure of ``X``'s
+antecedents, skipping transactions ``i`` has already accepted.  The
+*update extension* is the flattened update footprint of that closure.
+
+Antecedent edges themselves (``ante(X)``: which earlier transaction
+inserted or modified-to each value that ``X`` deletes or modifies) are
+discovered by the update store at publish time, because only the store sees
+the full published history; see :class:`repro.store.base.UpdateStore`.
+This module consumes those edges through :class:`TransactionGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReconciliationError
+from repro.model.flatten import flatten, keys_touched
+from repro.model.schema import Schema
+from repro.model.transactions import Transaction, TransactionId
+from repro.model.tuples import QualifiedKey
+from repro.model.updates import Update
+
+
+@dataclass(frozen=True)
+class RelevantTransaction:
+    """A root transaction delivered to a reconciling participant.
+
+    ``priority`` is ``pri_i`` of the root; ``order`` is the transaction's
+    global publish index, which totally orders the published history.
+    """
+
+    transaction: Transaction
+    priority: int
+    order: int
+
+    @property
+    def tid(self) -> TransactionId:
+        """The root transaction's id."""
+        return self.transaction.tid
+
+
+class TransactionGraph:
+    """Published transactions plus antecedent edges and publish order.
+
+    The reconciling participant accumulates one of these across its
+    lifetime: every transaction it has ever fetched stays available so
+    previously deferred transactions can be reconsidered without another
+    round trip (the paper's soft-state cache).
+    """
+
+    def __init__(self) -> None:
+        self._transactions: Dict[TransactionId, Transaction] = {}
+        self._antecedents: Dict[TransactionId, Tuple[TransactionId, ...]] = {}
+        self._order: Dict[TransactionId, int] = {}
+
+    def add(
+        self,
+        transaction: Transaction,
+        antecedents: Iterable[TransactionId],
+        order: int,
+    ) -> None:
+        """Register a transaction with its direct antecedents and order."""
+        tid = transaction.tid
+        self._transactions[tid] = transaction
+        self._antecedents[tid] = tuple(antecedents)
+        self._order[tid] = order
+
+    def merge(self, other: "TransactionGraph") -> None:
+        """Absorb every entry of ``other`` (idempotent on duplicates)."""
+        self._transactions.update(other._transactions)
+        self._antecedents.update(other._antecedents)
+        self._order.update(other._order)
+
+    def __contains__(self, tid: TransactionId) -> bool:
+        return tid in self._transactions
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def transaction(self, tid: TransactionId) -> Transaction:
+        """Return the transaction for ``tid``.
+
+        Raises :class:`ReconciliationError` if it was never registered.
+        """
+        try:
+            return self._transactions[tid]
+        except KeyError:
+            raise ReconciliationError(
+                f"transaction {tid} is referenced but was never fetched"
+            ) from None
+
+    def antecedents_of(self, tid: TransactionId) -> Tuple[TransactionId, ...]:
+        """Direct antecedents of ``tid`` (empty if none registered)."""
+        return self._antecedents.get(tid, ())
+
+    def order_of(self, tid: TransactionId) -> int:
+        """Global publish index of ``tid``."""
+        try:
+            return self._order[tid]
+        except KeyError:
+            raise ReconciliationError(
+                f"transaction {tid} has no recorded publish order"
+            ) from None
+
+    def extension(
+        self, tid: TransactionId, applied: Set[TransactionId]
+    ) -> List[TransactionId]:
+        """The transaction extension ``te_i|e(tid)``.
+
+        Transitive closure over antecedents, skipping transactions in
+        ``applied`` (already part of the participant's instance), sorted
+        by publish order.  The root is always included, even if somehow in
+        ``applied`` — re-reconciling an applied root is a caller bug that
+        surfaces elsewhere.
+        """
+        closure: Set[TransactionId] = set()
+        stack: List[TransactionId] = [tid]
+        while stack:
+            current = stack.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            for ante in self.antecedents_of(current):
+                if ante not in applied and ante not in closure:
+                    stack.append(ante)
+        return sorted(closure, key=self.order_of)
+
+
+@dataclass
+class UpdateExtension:
+    """The flattened update extension of one root (Section 4.2).
+
+    * ``root`` — the root transaction id;
+    * ``members`` — the transaction extension, in publish order;
+    * ``operations`` — ``flatten`` of the members' concatenated updates;
+    * ``touched`` — every qualified key the raw (unflattened) footprint
+      read or wrote, used for dirty-value deferral;
+    * ``priority`` — ``pri_i`` of the root.
+    """
+
+    root: TransactionId
+    members: Tuple[TransactionId, ...]
+    operations: Tuple[Update, ...]
+    touched: frozenset
+    priority: int
+
+    def __post_init__(self) -> None:
+        self._members_set = frozenset(self.members)
+
+    def member_set(self) -> frozenset:
+        """The members as a set (for subsumption and sharing tests)."""
+        return self._members_set
+
+    def subsumes(self, other: "UpdateExtension") -> bool:
+        """True if this extension's members are a superset of ``other``'s."""
+        return self.member_set() >= other.member_set()
+
+
+def update_footprint(
+    graph: TransactionGraph, members: Sequence[TransactionId]
+) -> List[Update]:
+    """The paper's ``uf(L)``: concatenated updates of ordered transactions."""
+    footprint: List[Update] = []
+    for tid in members:
+        footprint.extend(graph.transaction(tid).updates)
+    return footprint
+
+
+def compute_update_extension(
+    schema: Schema,
+    graph: TransactionGraph,
+    root: RelevantTransaction,
+    applied: Set[TransactionId],
+) -> UpdateExtension:
+    """Build the flattened update extension of ``root`` for a participant.
+
+    Raises :class:`~repro.errors.FlattenError` (propagated) if the chain is
+    internally inconsistent — the engine treats that as a rejection.
+    """
+    members = graph.extension(root.tid, applied)
+    footprint = update_footprint(graph, members)
+    operations = tuple(flatten(schema, footprint))
+    touched = frozenset(keys_touched(schema, footprint))
+    return UpdateExtension(
+        root=root.tid,
+        members=tuple(members),
+        operations=operations,
+        touched=touched,
+        priority=root.priority,
+    )
+
+
+@dataclass
+class ReconciliationBatch:
+    """Everything the update store hands a reconciling participant.
+
+    * ``recno`` — the reconciliation epoch this batch covers up to;
+    * ``roots`` — newly relevant fully-trusted transactions with their
+      priorities, in publish order;
+    * ``graph`` — those transactions plus every antecedent needed to build
+      their extensions;
+    * ``extensions`` / ``conflicts`` — optionally precomputed by the store
+      (*network-centric* reconciliation, Figure 3): flattened update
+      extensions per root and the direct-conflict adjacency among them.
+      When present they must cover every root, including the
+      participant's previously deferred transactions (the store tracks
+      those).  The engine then skips its two most expensive phases.
+    """
+
+    recno: int
+    roots: List[RelevantTransaction] = field(default_factory=list)
+    graph: TransactionGraph = field(default_factory=TransactionGraph)
+    extensions: Optional[Dict[TransactionId, "UpdateExtension"]] = None
+    conflicts: Optional[Dict[TransactionId, set]] = None
+
+    def root_ids(self) -> List[TransactionId]:
+        """Ids of the batch's root transactions."""
+        return [root.tid for root in self.roots]
+
+    @property
+    def network_centric(self) -> bool:
+        """True when the store precomputed extensions and conflicts."""
+        return self.extensions is not None and self.conflicts is not None

@@ -1,0 +1,59 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Each subsystem raises the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid, or data does not match its schema."""
+
+
+class ConstraintViolation(ReproError):
+    """Applying an update would violate an integrity constraint."""
+
+
+class UpdateError(ReproError):
+    """An update or transaction is malformed or cannot be applied."""
+
+
+class FlattenError(UpdateError):
+    """An update sequence is internally inconsistent and cannot be flattened."""
+
+
+class PolicyError(ReproError):
+    """A trust policy or acceptance rule is malformed."""
+
+
+class StoreError(ReproError):
+    """The update store rejected or could not complete an operation."""
+
+
+class UnknownTransactionError(StoreError):
+    """A transaction id was requested that the store has never seen."""
+
+
+class PublicationError(StoreError):
+    """A publication violated the store's protocol (e.g. reused epoch)."""
+
+
+class ReconciliationError(ReproError):
+    """The reconciliation engine detected an inconsistent internal state."""
+
+
+class ResolutionError(ReconciliationError):
+    """A conflict-resolution request referenced an unknown group or option."""
+
+
+class NetworkError(ReproError):
+    """The simulated network could not deliver a message."""
+
+
+class WorkloadError(ReproError):
+    """The synthetic workload generator was configured incorrectly."""

@@ -1,0 +1,18 @@
+"""Materialised local database instances.
+
+Each CDSS participant controls a local instance of the shared schema
+(``Ii(Sigma)`` in Definition 1).  This package provides:
+
+* :class:`repro.instance.memory.MemoryInstance` — a key-indexed in-memory
+  instance, used by the reconciliation engine and the simulations;
+* :class:`repro.instance.sqlite_instance.SqliteInstance` — the same
+  interface persisted in sqlite3, standing in for the participant-local
+  relational databases of the paper's deployment;
+* :func:`repro.instance.base.apply_update` semantics shared by both.
+"""
+
+from repro.instance.base import Instance
+from repro.instance.memory import MemoryInstance
+from repro.instance.sqlite_instance import SqliteInstance
+
+__all__ = ["Instance", "MemoryInstance", "SqliteInstance"]

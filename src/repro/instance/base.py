@@ -1,0 +1,299 @@
+"""The abstract instance interface and shared update-application semantics.
+
+An *instance* is a materialised database: for every relation in the schema,
+a set of rows indexed by key.  The reconciliation engine needs exactly four
+capabilities from it: look up the row under a key, apply an update, test
+whether an update sequence could be applied without violating integrity
+constraints (``CheckState`` line 5 of the paper's algorithm), and enumerate
+state for metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintViolation
+from repro.model.schema import Schema
+from repro.model.tuples import QualifiedKey
+from repro.model.updates import Delete, Insert, Modify, Update
+
+
+class Instance(abc.ABC):
+    """A materialised database instance over a fixed schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this instance materialises."""
+        return self._schema
+
+    @abc.abstractmethod
+    def get(self, relation: str, key: Tuple) -> Optional[Tuple]:
+        """Return the row stored under ``key`` in ``relation``, or None."""
+
+    @abc.abstractmethod
+    def rows(self, relation: str) -> Iterable[Tuple]:
+        """Iterate over all rows of ``relation`` (order unspecified)."""
+
+    @abc.abstractmethod
+    def _set(self, relation: str, key: Tuple, row: Tuple) -> None:
+        """Store ``row`` under ``key`` (insert or overwrite)."""
+
+    @abc.abstractmethod
+    def _remove(self, relation: str, key: Tuple) -> None:
+        """Remove the row under ``key``; no-op if absent."""
+
+    def count(self, relation: str) -> int:
+        """Number of rows currently in ``relation``."""
+        return sum(1 for _ in self.rows(relation))
+
+    def contains_row(self, relation: str, row: Tuple) -> bool:
+        """True if exactly ``row`` is present in ``relation``."""
+        key = self._schema.relation(relation).key_of(row)
+        return self.get(relation, key) == row
+
+    # ------------------------------------------------------------------
+    # Update application
+
+    def can_apply(self, update: Update) -> bool:
+        """True if ``update`` can be applied without violating constraints."""
+        try:
+            self._check(update, simulated={})
+        except ConstraintViolation:
+            return False
+        return True
+
+    def can_apply_all(self, updates: Sequence[Update]) -> bool:
+        """True if the whole sequence applies cleanly, in order.
+
+        This is the "can be completely applied to the instance without
+        violating its integrity constraints" test of Definition 5,
+        condition 2.  The check simulates the sequence against a scratch
+        overlay so the instance itself is not modified.
+        """
+        simulated: Dict[QualifiedKey, Optional[Tuple]] = {}
+        try:
+            for update in updates:
+                self._check(update, simulated)
+                self._simulate(update, simulated)
+        except ConstraintViolation:
+            return False
+        return True
+
+    def apply(self, update: Update) -> None:
+        """Apply a single update, raising :class:`ConstraintViolation` on error."""
+        self._check(update, simulated={})
+        self._execute(update)
+
+    def apply_all(self, updates: Sequence[Update]) -> None:
+        """Apply an update sequence atomically-in-effect.
+
+        The sequence is validated as a whole first (so a failure partway
+        through cannot leave the instance half-updated), then executed.
+        """
+        simulated: Dict[QualifiedKey, Optional[Tuple]] = {}
+        for update in updates:
+            self._check(update, simulated)
+            self._simulate(update, simulated)
+        for update in updates:
+            self._execute(update)
+
+    # ------------------------------------------------------------------
+    # Set application (flattened update extensions)
+
+    def _check_set(self, updates: Sequence[Update]) -> None:
+        """Validate a *set* of mutually independent updates.
+
+        Flattened update extensions are sets, not sequences: members may
+        exchange rows between keys (including cyclic renames), so the
+        semantics is consume-everything-then-produce-everything.  Raises
+        :class:`ConstraintViolation` when the set does not fit.
+        """
+        overlay: Dict[QualifiedKey, Optional[Tuple]] = {}
+        # Phase 1: every consumed row must currently be present.
+        for update in updates:
+            read = update.read_row()
+            if read is None:
+                continue
+            rel = self._schema.relation(update.relation)
+            key = (update.relation, rel.key_of(read))
+            if key in overlay:
+                raise ConstraintViolation(
+                    f"update set consumes key {key} twice"
+                )
+            existing = self.get(update.relation, rel.key_of(read))
+            if existing != read:
+                raise ConstraintViolation(
+                    f"update {update} consumes {read!r} but the instance "
+                    f"holds {existing!r}"
+                )
+            overlay[key] = None
+        # Phase 2: every produced row must land on a free (or identical)
+        # slot in the post-consumption state.
+        for update in updates:
+            written = update.written_row()
+            if written is None:
+                continue
+            rel = self._schema.relation(update.relation)
+            rel.validate_row(written)
+            key = (update.relation, rel.key_of(written))
+            target = self._effective(update.relation, rel.key_of(written), overlay)
+            if target is not None and target != written:
+                raise ConstraintViolation(
+                    f"update {update} writes over existing row {target!r}"
+                )
+            overlay[key] = written
+        # Phase 3: foreign keys against the final state.
+        for update in updates:
+            written = update.written_row()
+            if written is not None:
+                self._check_foreign_keys(update.relation, written, overlay)
+
+    def can_apply_set(self, updates: Sequence[Update]) -> bool:
+        """True if the update set fits this instance (set semantics)."""
+        try:
+            self._check_set(updates)
+        except ConstraintViolation:
+            return False
+        return True
+
+    def apply_set(self, updates: Sequence[Update]) -> None:
+        """Apply a set of mutually independent updates atomically.
+
+        All consumed rows are removed first, then all produced rows are
+        stored, so renames between keys (even cyclic ones) apply cleanly.
+        """
+        self._check_set(updates)
+        for update in updates:
+            read = update.read_row()
+            if read is not None:
+                rel = self._schema.relation(update.relation)
+                self._remove(update.relation, rel.key_of(read))
+        for update in updates:
+            written = update.written_row()
+            if written is not None:
+                rel = self._schema.relation(update.relation)
+                self._set(update.relation, rel.key_of(written), written)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+
+    def _effective(
+        self,
+        relation: str,
+        key: Tuple,
+        simulated: Dict[QualifiedKey, Optional[Tuple]],
+    ) -> Optional[Tuple]:
+        """Row under ``key`` as seen through the simulation overlay."""
+        qualified = (relation, key)
+        if qualified in simulated:
+            return simulated[qualified]
+        return self.get(relation, key)
+
+    def _check(
+        self,
+        update: Update,
+        simulated: Dict[QualifiedKey, Optional[Tuple]],
+    ) -> None:
+        """Raise :class:`ConstraintViolation` if ``update`` is inapplicable."""
+        rel = self._schema.relation(update.relation)
+        if isinstance(update, Insert):
+            rel.validate_row(update.row)
+            key = rel.key_of(update.row)
+            existing = self._effective(update.relation, key, simulated)
+            if existing is not None and existing != update.row:
+                raise ConstraintViolation(
+                    f"insert of {update} collides with existing row {existing!r}"
+                )
+            self._check_foreign_keys(update.relation, update.row, simulated)
+        elif isinstance(update, Delete):
+            key = rel.key_of(update.row)
+            existing = self._effective(update.relation, key, simulated)
+            if existing != update.row:
+                raise ConstraintViolation(
+                    f"delete of {update} does not match stored row {existing!r}"
+                )
+        elif isinstance(update, Modify):
+            rel.validate_row(update.new_row)
+            old_key = rel.key_of(update.old_row)
+            existing = self._effective(update.relation, old_key, simulated)
+            if existing != update.old_row:
+                raise ConstraintViolation(
+                    f"modify of {update} does not match stored row {existing!r}"
+                )
+            new_key = rel.key_of(update.new_row)
+            if new_key != old_key:
+                target = self._effective(update.relation, new_key, simulated)
+                if target is not None:
+                    raise ConstraintViolation(
+                        f"modify of {update} collides with existing row {target!r}"
+                    )
+            self._check_foreign_keys(update.relation, update.new_row, simulated)
+
+    def _check_foreign_keys(
+        self,
+        relation: str,
+        row: Tuple,
+        simulated: Dict[QualifiedKey, Optional[Tuple]],
+    ) -> None:
+        rel = self._schema.relation(relation)
+        for fk in self._schema.foreign_keys_from(relation):
+            referenced = tuple(
+                rel.value_of(row, attr) for attr in fk.source_attributes
+            )
+            target = self._effective(fk.target_relation, referenced, simulated)
+            if target is None:
+                raise ConstraintViolation(
+                    f"row {row!r} of {relation!r} references "
+                    f"{fk.target_relation!r} key {referenced!r}, which is absent"
+                )
+
+    def _simulate(
+        self,
+        update: Update,
+        simulated: Dict[QualifiedKey, Optional[Tuple]],
+    ) -> None:
+        """Record the effect of ``update`` in the simulation overlay."""
+        rel = self._schema.relation(update.relation)
+        if isinstance(update, Insert):
+            simulated[(update.relation, rel.key_of(update.row))] = update.row
+        elif isinstance(update, Delete):
+            simulated[(update.relation, rel.key_of(update.row))] = None
+        elif isinstance(update, Modify):
+            simulated[(update.relation, rel.key_of(update.old_row))] = None
+            simulated[(update.relation, rel.key_of(update.new_row))] = update.new_row
+
+    def _execute(self, update: Update) -> None:
+        """Mutate the instance; assumes :meth:`_check` already passed."""
+        rel = self._schema.relation(update.relation)
+        if isinstance(update, Insert):
+            self._set(update.relation, rel.key_of(update.row), update.row)
+        elif isinstance(update, Delete):
+            self._remove(update.relation, rel.key_of(update.row))
+        elif isinstance(update, Modify):
+            self._remove(update.relation, rel.key_of(update.old_row))
+            self._set(update.relation, rel.key_of(update.new_row), update.new_row)
+
+    # ------------------------------------------------------------------
+    # Introspection for metrics and tests
+
+    def snapshot(self) -> Dict[str, Dict[Tuple, Tuple]]:
+        """A deep copy of the full state: relation -> key -> row."""
+        state: Dict[str, Dict[Tuple, Tuple]] = {}
+        for rel in self._schema:
+            rows: Dict[Tuple, Tuple] = {}
+            for row in self.rows(rel.name):
+                rows[rel.key_of(row)] = row
+            state[rel.name] = rows
+        return state
+
+    def all_keys(self) -> List[QualifiedKey]:
+        """Every qualified key currently holding a row."""
+        keys: List[QualifiedKey] = []
+        for rel in self._schema:
+            for row in self.rows(rel.name):
+                keys.append((rel.name, rel.key_of(row)))
+        return keys

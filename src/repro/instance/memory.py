@@ -1,0 +1,56 @@
+"""In-memory key-indexed instance — the workhorse of the simulations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.instance.base import Instance
+from repro.model.schema import Schema
+
+
+class MemoryInstance(Instance):
+    """A database instance held entirely in Python dictionaries.
+
+    Each relation is a dict from key tuple to row tuple, giving O(1)
+    lookups — the same asymptotics the paper obtains from hash-based
+    conflict detection.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        super().__init__(schema)
+        self._data: Dict[str, Dict[Tuple, Tuple]] = {
+            rel.name: {} for rel in schema
+        }
+
+    def get(self, relation: str, key: Tuple) -> Optional[Tuple]:
+        """Return the row stored under ``key`` in ``relation``, or None."""
+        return self._data[relation].get(key)
+
+    def rows(self, relation: str) -> Iterable[Tuple]:
+        """Iterate over all rows of ``relation``."""
+        return iter(self._data[relation].values())
+
+    def count(self, relation: str) -> int:
+        """Number of rows currently in ``relation`` (O(1) here)."""
+        return len(self._data[relation])
+
+    def _set(self, relation: str, key: Tuple, row: Tuple) -> None:
+        self._data[relation][key] = row
+
+    def _remove(self, relation: str, key: Tuple) -> None:
+        self._data[relation].pop(key, None)
+
+    def copy(self) -> "MemoryInstance":
+        """An independent deep copy of this instance."""
+        clone = MemoryInstance(self._schema)
+        for relation, rows in self._data.items():
+            clone._data[relation] = dict(rows)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryInstance):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:  # pragma: no cover - instances are mutable
+        raise TypeError("MemoryInstance is unhashable")

@@ -1,0 +1,113 @@
+"""A participant-local instance persisted in sqlite3.
+
+The paper's participants each maintain a local relational database.  This
+class provides the same :class:`~repro.instance.base.Instance` interface as
+the in-memory variant, backed by a sqlite database (on disk or in memory).
+Rows are stored with their key attributes as dedicated indexed columns and
+the remaining attributes alongside them.
+
+Values are serialised with ``repr`` and parsed back with
+:func:`ast.literal_eval`, so any literal-representable Python value
+(strings, numbers, tuples, ...) round-trips faithfully.
+"""
+
+from __future__ import annotations
+
+import ast
+import sqlite3
+from typing import Iterable, Optional, Tuple
+
+from repro.instance.base import Instance
+from repro.model.schema import Schema
+
+
+def _encode(value: object) -> str:
+    return repr(value)
+
+
+def _decode(text: str) -> object:
+    return ast.literal_eval(text)
+
+
+def _table_name(relation: str) -> str:
+    # Quote via brackets after sanity-checking to prevent any SQL injection
+    # through relation names.
+    if not relation.replace("_", "").isalnum():
+        raise ValueError(f"relation name {relation!r} is not a valid identifier")
+    return f'"rel_{relation}"'
+
+
+class SqliteInstance(Instance):
+    """An :class:`Instance` stored in a sqlite3 database."""
+
+    def __init__(self, schema: Schema, path: str = ":memory:") -> None:
+        super().__init__(schema)
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        with self._conn:
+            for rel in self._schema:
+                columns = ", ".join(
+                    f'"{attr.name}" TEXT NOT NULL' for attr in rel.attributes
+                )
+                key_cols = ", ".join(f'"{k}"' for k in rel.key)
+                self._conn.execute(
+                    f"CREATE TABLE IF NOT EXISTS {_table_name(rel.name)} "
+                    f"({columns}, PRIMARY KEY ({key_cols}))"
+                )
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteInstance":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def get(self, relation: str, key: Tuple) -> Optional[Tuple]:
+        """Return the row stored under ``key`` in ``relation``, or None."""
+        rel = self._schema.relation(relation)
+        where = " AND ".join(f'"{k}" = ?' for k in rel.key)
+        cursor = self._conn.execute(
+            f"SELECT * FROM {_table_name(relation)} WHERE {where}",
+            tuple(_encode(v) for v in key),
+        )
+        record = cursor.fetchone()
+        if record is None:
+            return None
+        return tuple(_decode(text) for text in record)
+
+    def rows(self, relation: str) -> Iterable[Tuple]:
+        """Iterate over all rows of ``relation``."""
+        cursor = self._conn.execute(f"SELECT * FROM {_table_name(relation)}")
+        for record in cursor:
+            yield tuple(_decode(text) for text in record)
+
+    def count(self, relation: str) -> int:
+        """Number of rows currently in ``relation``."""
+        cursor = self._conn.execute(
+            f"SELECT COUNT(*) FROM {_table_name(relation)}"
+        )
+        return int(cursor.fetchone()[0])
+
+    def _set(self, relation: str, key: Tuple, row: Tuple) -> None:
+        rel = self._schema.relation(relation)
+        placeholders = ", ".join("?" for _ in rel.attributes)
+        with self._conn:
+            self._remove(relation, key)
+            self._conn.execute(
+                f"INSERT INTO {_table_name(relation)} VALUES ({placeholders})",
+                tuple(_encode(v) for v in row),
+            )
+
+    def _remove(self, relation: str, key: Tuple) -> None:
+        rel = self._schema.relation(relation)
+        where = " AND ".join(f'"{k}" = ?' for k in rel.key)
+        self._conn.execute(
+            f"DELETE FROM {_table_name(relation)} WHERE {where}",
+            tuple(_encode(v) for v in key),
+        )

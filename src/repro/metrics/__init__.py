@@ -1,0 +1,11 @@
+"""Metrics of the evaluation section: state ratio and timing breakdowns."""
+
+from repro.metrics.state_ratio import divergence_by_key, state_ratio
+from repro.metrics.timing import TimingAggregate, aggregate_timings
+
+__all__ = [
+    "TimingAggregate",
+    "aggregate_timings",
+    "divergence_by_key",
+    "state_ratio",
+]

@@ -1,0 +1,55 @@
+"""Aggregation of per-reconciliation timing records (Figures 10 and 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.cdss.participant import ReconcileTiming
+
+
+@dataclass
+class TimingAggregate:
+    """Summed / averaged reconciliation costs over a set of timings."""
+
+    reconciliations: int
+    total_store_seconds: float
+    total_local_seconds: float
+    total_messages: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Store plus local time."""
+        return self.total_store_seconds + self.total_local_seconds
+
+    @property
+    def mean_store_seconds(self) -> float:
+        """Average store time per reconciliation."""
+        if self.reconciliations == 0:
+            return 0.0
+        return self.total_store_seconds / self.reconciliations
+
+    @property
+    def mean_local_seconds(self) -> float:
+        """Average local time per reconciliation."""
+        if self.reconciliations == 0:
+            return 0.0
+        return self.total_local_seconds / self.reconciliations
+
+    @property
+    def mean_total_seconds(self) -> float:
+        """Average total time per reconciliation."""
+        if self.reconciliations == 0:
+            return 0.0
+        return self.total_seconds / self.reconciliations
+
+
+def aggregate_timings(timings: Iterable[ReconcileTiming]) -> TimingAggregate:
+    """Fold timing records into a :class:`TimingAggregate`."""
+    records: List[ReconcileTiming] = list(timings)
+    return TimingAggregate(
+        reconciliations=len(records),
+        total_store_seconds=sum(t.store_seconds for t in records),
+        total_local_seconds=sum(t.local_seconds for t in records),
+        total_messages=sum(t.store_messages for t in records),
+    )

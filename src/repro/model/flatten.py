@@ -1,0 +1,298 @@
+"""Flattening of update sequences into minimal sets of net effects.
+
+Section 4.2 of the paper relies on a function ``flatten(s)`` that, given a
+sequence of updates, "produces a set of mutually independent updates with
+all dependency chains removed" — the Heraclitus-style delta minimisation of
+Ghandeharizadeh et al.  For example the sequence
+
+    +F(mouse, prot2, cell-resp)
+    F((mouse, prot2, cell-resp) -> (mouse, prot3, cell-resp))
+
+flattens to the single insertion ``+F(mouse, prot3, cell-resp)``: the
+intermediate state never needs to exist at the reconciling participant.
+
+The implementation models *chains*: every row value alive during the
+sequence belongs to a chain that began either with an insertion (no
+pre-existing state consumed) or by consuming a pre-existing row (via a
+deletion or the source side of a replacement).  Replacements extend a
+chain, possibly moving it to a different key.  At the end of the sequence
+each chain contributes at most one net update:
+
+* began with insert, still alive            ->  Insert(final row)
+* began with insert, later consumed          ->  nothing (cancelled)
+* consumed row ``a``, now dead               ->  Delete(a)
+* consumed row ``a``, alive as ``a``         ->  nothing (restored)
+* consumed row ``a``, alive as ``b``         ->  Modify(a -> b)
+
+A final minimisation fixpoint composes chains that meet at a key: a
+``Delete(a)`` and an ``Insert(b)`` on the same key merge into
+``Modify(a -> b)``, and a consumer/producer pair whose rows are identical
+cancels at that key (e.g. ``Delete((k, r))`` plus ``Modify((k2, x) -> (k,
+r))`` minimises to ``Delete((k2, x))``).  The result is a *set* of
+mutually independent updates — at most one reader and at most one writer
+per qualified key, with no composable pair remaining.  Because members of
+the set may exchange rows between keys (renames, even cyclic ones), the
+set must be applied with consume-then-produce set semantics
+(:meth:`repro.instance.base.Instance.apply_set`), not sequentially.
+
+A chain that returns a key to the row it started from (e.g. ``a -> b`` then
+``b -> a``) flattens to nothing, which is exactly the paper's *least
+interaction* principle: a revised-away modification must not conflict with
+anyone.  The keys such a chain passed through are still reported by
+:func:`keys_read` / :func:`keys_touched`, because dirty-value deferral cares
+about reads even when the net effect is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import FlattenError
+from repro.model.schema import Schema
+from repro.model.tuples import QualifiedKey
+from repro.model.updates import Delete, Insert, Modify, Update
+
+
+@dataclass
+class _Chain:
+    """One row lineage traced through an update sequence."""
+
+    first_read: Optional[Tuple]  # pre-existing row consumed, if any
+    first_key: QualifiedKey  # key where the chain began
+    final_row: Optional[Tuple] = None  # row left behind (None = dead)
+    final_key: Optional[QualifiedKey] = None  # key where final_row lives
+    last_origin: int = 0
+    touched: Set[QualifiedKey] = field(default_factory=set)
+
+
+class _Tracer:
+    """Folds an update sequence into chains, validating consistency."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._live: Dict[QualifiedKey, _Chain] = {}
+        self.chains: List[_Chain] = []
+
+    def _key(self, relation: str, row: Tuple) -> QualifiedKey:
+        return (relation, self._schema.relation(relation).key_of(row))
+
+    def _start_chain(
+        self, key: QualifiedKey, read: Optional[Tuple], origin: int
+    ) -> _Chain:
+        chain = _Chain(first_read=read, first_key=key, last_origin=origin)
+        chain.touched.add(key)
+        self.chains.append(chain)
+        return chain
+
+    def _consume(self, key: QualifiedKey, row: Tuple, origin: int) -> _Chain:
+        """Kill the live row under ``key`` (or consume pre-existing state)."""
+        chain = self._live.pop(key, None)
+        if chain is None:
+            chain = self._start_chain(key, read=row, origin=origin)
+        elif chain.final_row != row:
+            raise FlattenError(
+                f"sequence consumes row {row!r} under key {key}, but the "
+                f"chain leaves {chain.final_row!r} there"
+            )
+        chain.final_row = None
+        chain.final_key = None
+        chain.last_origin = origin
+        chain.touched.add(key)
+        return chain
+
+    def _produce(
+        self, chain: _Chain, key: QualifiedKey, row: Tuple, origin: int
+    ) -> None:
+        if key in self._live:
+            raise FlattenError(
+                f"sequence writes {row!r} under key {key} while another "
+                "chain still holds that key"
+            )
+        chain.final_row = row
+        chain.final_key = key
+        chain.last_origin = origin
+        chain.touched.add(key)
+        self._live[key] = chain
+
+    def feed(self, update: Update) -> None:
+        """Fold one update into the chain state."""
+        if isinstance(update, Insert):
+            key = self._key(update.relation, update.row)
+            chain = self._start_chain(key, read=None, origin=update.origin)
+            self._produce(chain, key, update.row, update.origin)
+        elif isinstance(update, Delete):
+            key = self._key(update.relation, update.row)
+            self._consume(key, update.row, update.origin)
+        elif isinstance(update, Modify):
+            old_key = self._key(update.relation, update.old_row)
+            new_key = self._key(update.relation, update.new_row)
+            chain = self._consume(old_key, update.old_row, update.origin)
+            self._produce(chain, new_key, update.new_row, update.origin)
+        else:  # pragma: no cover - exhaustive over the Update union
+            raise FlattenError(f"unknown update type: {update!r}")
+
+
+def _trace(schema: Schema, updates: Iterable[Update]) -> List[_Chain]:
+    tracer = _Tracer(schema)
+    for update in updates:
+        tracer.feed(update)
+    return tracer.chains
+
+
+def _net_update(chain: _Chain) -> Optional[Update]:
+    """The net update contributed by one chain, or None if it cancelled."""
+    relation = chain.first_key[0]
+    if chain.first_read is None:
+        if chain.final_row is None:
+            return None  # inserted then consumed
+        return Insert(relation, chain.final_row, chain.last_origin)
+    if chain.final_row is None:
+        return Delete(relation, chain.first_read, chain.last_origin)
+    if chain.final_row == chain.first_read:
+        return None  # restored to the original row
+    return Modify(relation, chain.first_read, chain.final_row, chain.last_origin)
+
+
+def _reader_at(schema: Schema, update: Update) -> Optional[QualifiedKey]:
+    row = update.read_row()
+    if row is None:
+        return None
+    return (update.relation, schema.relation(update.relation).key_of(row))
+
+
+def _writer_at(schema: Schema, update: Update) -> Optional[QualifiedKey]:
+    row = update.written_row()
+    if row is None:
+        return None
+    return (update.relation, schema.relation(update.relation).key_of(row))
+
+
+def _compose_pair(reader: Update, writer: Update) -> List[Update]:
+    """Compose a reader and a writer that meet at one key.
+
+    ``reader`` consumes row ``r`` at key ``k``; ``writer`` produces a row
+    at ``k``.  When the produced row equals ``r`` the pair cancels at
+    ``k`` and only their *other* ends survive; when the rows differ, a
+    plain delete + insert pair still merges into a replacement.  Returns
+    the replacement updates (possibly empty), or None when the pair
+    cannot be composed.
+    """
+    consumed = reader.read_row()
+    produced = writer.written_row()
+    origin = writer.origin
+    if consumed == produced:
+        # The key ends up holding exactly the row it lost: compose out.
+        if isinstance(reader, Delete) and isinstance(writer, Insert):
+            return []
+        if isinstance(reader, Delete) and isinstance(writer, Modify):
+            return [Delete(writer.relation, writer.old_row, origin)]
+        if isinstance(reader, Modify) and isinstance(writer, Insert):
+            return [Insert(reader.relation, reader.new_row, reader.origin)]
+        if isinstance(reader, Modify) and isinstance(writer, Modify):
+            if writer.old_row == reader.new_row:
+                return []
+            return [
+                Modify(writer.relation, writer.old_row, reader.new_row, origin)
+            ]
+    if isinstance(reader, Delete) and isinstance(writer, Insert):
+        # Remove-then-replace expressed as two chains.
+        return [Modify(reader.relation, consumed, produced, origin)]
+    return None
+
+
+def _minimise(schema: Schema, nets: List[Update]) -> List[Update]:
+    """Fixpoint composition of reader/writer pairs meeting at one key.
+
+    Guarantees that in the result no key has both a consumer of row ``r``
+    and a producer of the same row ``r`` (such pairs always compose), and
+    no key has both a plain Delete and a plain Insert (they merge into a
+    Modify).  A key may still carry one reader and one writer from
+    *different* replacements — e.g. ``Delete((k, a))`` alongside
+    ``Modify((k2, x) -> (k, b))`` — which is irreducible with row-level
+    update operations.
+    """
+    updates = list(nets)
+    changed = True
+    while changed:
+        changed = False
+        readers: Dict[QualifiedKey, Update] = {}
+        writers: Dict[QualifiedKey, Update] = {}
+        for update in updates:
+            read_key = _reader_at(schema, update)
+            if read_key is not None:
+                readers[read_key] = update
+            write_key = _writer_at(schema, update)
+            if write_key is not None:
+                writers[write_key] = update
+        for key, reader in readers.items():
+            writer = writers.get(key)
+            if writer is None or writer is reader:
+                continue
+            replacement = _compose_pair(reader, writer)
+            if replacement is None:
+                continue
+            updates = [u for u in updates if u is not reader and u is not writer]
+            updates.extend(replacement)
+            changed = True
+            break
+    return updates
+
+
+def _sort_key(schema: Schema, update: Update) -> Tuple:
+    relation = schema.relation(update.relation)
+    anchor = update.read_row() if update.read_row() is not None else update.written_row()
+    return (update.relation, repr(relation.key_of(anchor)))
+
+
+def flatten(schema: Schema, updates: Iterable[Update]) -> List[Update]:
+    """Flatten an update sequence into a minimal set of net updates.
+
+    The result is a deterministically ordered list representing a *set*
+    of mutually independent updates: at most one update consumes a row at
+    any key and at most one produces a row there, and no composable pair
+    remains (see :func:`_minimise`).  Chains that cancel out contribute
+    nothing.  Apply the result with
+    :meth:`~repro.instance.base.Instance.apply_set`.
+
+    Raises :class:`FlattenError` if the sequence is internally inconsistent
+    (e.g. it deletes a row that the chain state shows is not present).
+    """
+    nets = [
+        update
+        for chain in _trace(schema, updates)
+        if (update := _net_update(chain)) is not None
+    ]
+    nets = _minimise(schema, nets)
+    nets.sort(key=lambda u: _sort_key(schema, u))
+    return nets
+
+
+def flatten_transactions(schema: Schema, transactions: Iterable) -> List[Update]:
+    """Flatten the concatenated update sequences of ordered transactions."""
+    sequence: List[Update] = []
+    for txn in transactions:
+        sequence.extend(txn.updates)
+    return flatten(schema, sequence)
+
+
+def keys_read(schema: Schema, updates: Iterable[Update]) -> Set[QualifiedKey]:
+    """Keys whose pre-existing state the sequence consumed.
+
+    Includes keys whose net effect cancelled out: a chain that read a value
+    and restored it still depends on that value, which matters for
+    dirty-value deferral.
+    """
+    return {
+        chain.first_key
+        for chain in _trace(schema, updates)
+        if chain.first_read is not None
+    }
+
+
+def keys_touched(schema: Schema, updates: Iterable[Update]) -> Set[QualifiedKey]:
+    """All keys the sequence read or wrote, including intermediate steps."""
+    touched: Set[QualifiedKey] = set()
+    for chain in _trace(schema, updates):
+        touched.update(chain.touched)
+    return touched

@@ -1,0 +1,32 @@
+"""Helpers for working with rows (plain tuples) under a schema.
+
+Rows in this library are ordinary Python tuples; the schema gives them
+meaning.  These helpers centralise the two operations the reconciliation
+semantics performs constantly: extracting a row's key and checking that a
+row conforms to its relation schema.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.model.schema import RelationSchema, Schema
+
+#: A fully-qualified key: the relation name plus the key-attribute values.
+#: All conflict bookkeeping (dirty values, conflict groups) is keyed on this.
+QualifiedKey = Tuple[str, Tuple]
+
+
+def key_of(schema: Schema, relation: str, row: Tuple) -> QualifiedKey:
+    """Return the qualified key ``(relation, key-values)`` of ``row``."""
+    rel = schema.relation(relation)
+    return (relation, rel.key_of(row))
+
+
+def row_matches_schema(rel: RelationSchema, row: Tuple) -> bool:
+    """Return True if ``row`` conforms to ``rel`` (arity and types)."""
+    try:
+        rel.validate_row(row)
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,206 @@
+"""The three update operations of the paper, and the conflict predicate.
+
+Section 3.2 of the paper defines updates as value-based changes annotated
+with the identity of a single originating participant:
+
+* insert tuple, ``+R(a; i)`` — :class:`Insert`;
+* delete tuple, ``-R(a; i)`` — :class:`Delete`;
+* modify tuple, ``R(a -> a'; i)`` — :class:`Modify`.
+
+Section 4 defines when two updates *conflict*.  :func:`updates_conflict`
+implements that definition (it is symmetric).  The cases, quoting the paper:
+
+1. both are insertions with the same key values but different values for at
+   least one other attribute;
+2. one is a deletion and the other is a replacement or insertion with the
+   same key values;
+3. both are replacements of the same source tuple to different values.
+
+We add one documented generalisation required for soundness once update
+extensions have been *flattened* (Section 4.2): two updates that both write
+a row with the same key but different row values conflict even when neither
+is literally an insertion (for example an insertion and a replacement whose
+*target* carries the same key).  Without this, two flattened extensions
+could both be accepted yet violate the key constraint when applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import UpdateError
+from repro.model.schema import Schema
+from repro.model.tuples import QualifiedKey
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert ``row`` into ``relation``; published by participant ``origin``."""
+
+    relation: str
+    row: Tuple
+    origin: int
+
+    def written_row(self) -> Optional[Tuple]:
+        """The row present after applying this update (the inserted row)."""
+        return self.row
+
+    def read_row(self) -> Optional[Tuple]:
+        """The pre-existing row this update consumes (none for an insert)."""
+        return None
+
+    def keys_touched(self, schema: Schema) -> Tuple[QualifiedKey, ...]:
+        """Qualified keys this update reads or writes."""
+        rel = schema.relation(self.relation)
+        return ((self.relation, rel.key_of(self.row)),)
+
+    def __str__(self) -> str:
+        return f"+{self.relation}({', '.join(map(str, self.row))}; {self.origin})"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete ``row`` from ``relation``; published by participant ``origin``."""
+
+    relation: str
+    row: Tuple
+    origin: int
+
+    def written_row(self) -> Optional[Tuple]:
+        """The row present after applying this update (none for a delete)."""
+        return None
+
+    def read_row(self) -> Optional[Tuple]:
+        """The pre-existing row this update consumes (the deleted row)."""
+        return self.row
+
+    def keys_touched(self, schema: Schema) -> Tuple[QualifiedKey, ...]:
+        """Qualified keys this update reads or writes."""
+        rel = schema.relation(self.relation)
+        return ((self.relation, rel.key_of(self.row)),)
+
+    def __str__(self) -> str:
+        return f"-{self.relation}({', '.join(map(str, self.row))}; {self.origin})"
+
+
+@dataclass(frozen=True)
+class Modify:
+    """Replace ``old_row`` with ``new_row`` in ``relation``.
+
+    The paper calls this a *replacement*: ``R(a -> a'; i)``.  The source and
+    target rows may have different key values (a key-changing replacement).
+    """
+
+    relation: str
+    old_row: Tuple
+    new_row: Tuple
+    origin: int
+
+    def __post_init__(self) -> None:
+        if self.old_row == self.new_row:
+            raise UpdateError(
+                f"modify of {self.relation} replaces a row with itself: "
+                f"{self.old_row!r}"
+            )
+
+    def written_row(self) -> Optional[Tuple]:
+        """The row present after applying this update (the replacement)."""
+        return self.new_row
+
+    def read_row(self) -> Optional[Tuple]:
+        """The pre-existing row this update consumes (the replaced row)."""
+        return self.old_row
+
+    def keys_touched(self, schema: Schema) -> Tuple[QualifiedKey, ...]:
+        """Qualified keys this update reads or writes."""
+        rel = schema.relation(self.relation)
+        old_key = (self.relation, rel.key_of(self.old_row))
+        new_key = (self.relation, rel.key_of(self.new_row))
+        if old_key == new_key:
+            return (old_key,)
+        return (old_key, new_key)
+
+    def __str__(self) -> str:
+        old = ", ".join(map(str, self.old_row))
+        new = ", ".join(map(str, self.new_row))
+        return f"{self.relation}({old} -> {new}; {self.origin})"
+
+
+#: Any of the three update operations.
+Update = Union[Insert, Delete, Modify]
+
+
+def _written_key(schema: Schema, update: Update) -> Optional[QualifiedKey]:
+    row = update.written_row()
+    if row is None:
+        return None
+    rel = schema.relation(update.relation)
+    return (update.relation, rel.key_of(row))
+
+
+def _deleted_key(schema: Schema, update: Update) -> Optional[QualifiedKey]:
+    if not isinstance(update, Delete):
+        return None
+    rel = schema.relation(update.relation)
+    return (update.relation, rel.key_of(update.row))
+
+
+def _source_key(schema: Schema, update: Update) -> Optional[QualifiedKey]:
+    row = update.read_row()
+    if row is None:
+        return None
+    rel = schema.relation(update.relation)
+    return (update.relation, rel.key_of(row))
+
+
+def updates_conflict(schema: Schema, left: Update, right: Update) -> bool:
+    """Return True if the two updates conflict under the paper's definition.
+
+    The predicate is symmetric.  Updates on different relations never
+    conflict directly (they may still be jointly incompatible with an
+    instance through foreign keys; that is checked against the instance,
+    not pairwise).
+    """
+    if left.relation != right.relation:
+        return False
+    if left == right:
+        return False
+
+    # Case 1: two insertions of the same key with different rows.
+    if isinstance(left, Insert) and isinstance(right, Insert):
+        same_key = _written_key(schema, left) == _written_key(schema, right)
+        return same_key and left.row != right.row
+
+    # Case 2: a deletion against an insertion or replacement of the same key.
+    for deletion, other in ((left, right), (right, left)):
+        if not isinstance(deletion, Delete):
+            continue
+        del_key = _deleted_key(schema, deletion)
+        if isinstance(other, Insert):
+            if _written_key(schema, other) == del_key:
+                return True
+        elif isinstance(other, Modify):
+            if _source_key(schema, other) == del_key:
+                return True
+        elif isinstance(other, Delete):
+            # Two deletions of the same key but different rows consume
+            # incompatible versions of the tuple.
+            if del_key == _deleted_key(schema, other) and deletion.row != other.row:
+                return True
+        if isinstance(other, Delete):
+            break  # both are deletions; avoid re-checking symmetrically
+
+    # Case 3: two replacements of the same source tuple to different values.
+    if isinstance(left, Modify) and isinstance(right, Modify):
+        if left.old_row == right.old_row and left.new_row != right.new_row:
+            return True
+
+    # Generalised write/write collision (see module docstring): two updates
+    # that leave different rows under the same key cannot both be applied.
+    left_written = _written_key(schema, left)
+    if left_written is not None and left_written == _written_key(schema, right):
+        if left.written_row() != right.written_row():
+            return True
+
+    return False

@@ -1,0 +1,20 @@
+"""A deterministic message-level network simulator.
+
+The paper's distributed experiments ran every FreePastry node on a single
+server and injected "a delay of at least 500 microseconds ... to every
+message (and reply) transmission"; cost there was dominated by message
+count.  This package reproduces that regime deterministically:
+
+* :class:`repro.net.simnet.Network` — synchronous FIFO message delivery
+  between named nodes, charging a configurable latency per message and
+  counting every message sent;
+* :class:`repro.net.simnet.Node` — base class for protocol participants;
+* :class:`repro.net.ring.HashRing` — consistent hashing used by the DHT
+  store to map logical roles (epoch allocator, epoch controllers,
+  transaction controllers, ...) onto physical peers.
+"""
+
+from repro.net.ring import HashRing
+from repro.net.simnet import Message, Network, Node
+
+__all__ = ["HashRing", "Message", "Network", "Node"]

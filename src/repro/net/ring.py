@@ -1,0 +1,65 @@
+"""Consistent hashing: the identifier ring of a Pastry-style DHT.
+
+Each physical node takes a position on a circular id space (the SHA-1 hash
+of its name); a key is owned by the first node clockwise from the key's
+hash.  This is the standard Chord/Pastry ownership rule, which the paper's
+FreePastry deployment relies on to place the epoch allocator, epoch
+controllers, and transaction controllers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+from repro.errors import NetworkError
+
+
+def _hash(value: str) -> int:
+    return int.from_bytes(hashlib.sha1(value.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Maps keys to owning nodes by consistent hashing."""
+
+    def __init__(self, node_names: Iterable[str]) -> None:
+        names = list(node_names)
+        if not names:
+            raise NetworkError("a hash ring needs at least one node")
+        if len(set(names)) != len(names):
+            raise NetworkError("duplicate node names on the ring")
+        self._points: List[Tuple[int, str]] = sorted(
+            (_hash(name), name) for name in names
+        )
+        self._hashes = [point for point, _name in self._points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``: first node clockwise of hash(key)."""
+        position = bisect.bisect_left(self._hashes, _hash(key))
+        if position == len(self._points):
+            position = 0
+        return self._points[position][1]
+
+    def owner_excluding(self, key: str, excluded: Iterable[str]) -> str:
+        """The owner of ``key`` among nodes not in ``excluded``.
+
+        Used when the primary owner has failed and responsibility passes
+        to the next live node clockwise.
+        """
+        banned = set(excluded)
+        live = [(h, n) for h, n in self._points if n not in banned]
+        if not live:
+            raise NetworkError("no live nodes remain on the ring")
+        hashes = [h for h, _n in live]
+        position = bisect.bisect_left(hashes, _hash(key))
+        if position == len(live):
+            position = 0
+        return live[position][1]
+
+    def nodes(self) -> List[str]:
+        """Node names in ring order."""
+        return [name for _point, name in self._points]
+
+    def __len__(self) -> int:
+        return len(self._points)

@@ -1,0 +1,152 @@
+"""Synchronous simulated network with latency and message accounting.
+
+Delivery model: :meth:`Network.post` enqueues a message; :meth:`Network.run`
+drains the queue in FIFO order, invoking each recipient's handler, which
+may post further messages.  Each delivered message advances the simulated
+clock by the per-message latency and increments the message counter —
+messages are accounted *serially*, matching the paper's single-machine
+deployment where every hop paid its injected delay.
+
+Failure injection: a node can be taken down; messages to a down node raise
+:class:`~repro.errors.NetworkError` by default, or are silently dropped
+when the network is created with ``drop_to_failed=True`` (useful for
+testing recovery protocols such as epoch-allocator reconstruction).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+from repro.errors import NetworkError
+
+#: Default per-message latency, seconds (the paper's 500 microseconds).
+DEFAULT_LATENCY = 500e-6
+
+
+@dataclass
+class Message:
+    """One network message: sender, recipient, a kind tag, and a payload.
+
+    ``fragments`` models payload size: DHT messages have bounded size, so
+    a large payload (e.g. a transaction body with many updates) travels as
+    several fragments, each paying the per-message latency.  Delivery to
+    the handler still happens once, after the last fragment.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    fragments: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.sender} -> {self.recipient}: {self.kind}"
+
+
+class Node(abc.ABC):
+    """A protocol participant addressable by name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def handle(self, network: "Network", message: Message) -> None:
+        """Process ``message``; may post further messages on ``network``."""
+
+
+class Network:
+    """Deterministic FIFO message bus with latency accounting."""
+
+    def __init__(
+        self,
+        latency: float = DEFAULT_LATENCY,
+        drop_to_failed: bool = False,
+    ) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._queue: Deque[Message] = deque()
+        self._failed: set = set()
+        self._latency = latency
+        self._drop_to_failed = drop_to_failed
+        self.messages_delivered = 0
+        self.simulated_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology
+
+    def add_node(self, node: Node) -> None:
+        """Register a node; its name must be unique."""
+        if node.name in self._nodes:
+            raise NetworkError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def node_names(self) -> List[str]:
+        """All registered node names."""
+        return list(self._nodes)
+
+    def fail_node(self, name: str) -> None:
+        """Take a node down: it no longer receives messages."""
+        self.node(name)  # validate
+        self._failed.add(name)
+
+    def recover_node(self, name: str) -> None:
+        """Bring a failed node back."""
+        self._failed.discard(name)
+
+    def is_failed(self, name: str) -> bool:
+        """True if the node is currently down."""
+        return name in self._failed
+
+    # ------------------------------------------------------------------
+    # Messaging
+
+    def post(self, message: Message) -> None:
+        """Enqueue a message for delivery on the next :meth:`run` drain."""
+        self._queue.append(message)
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        _fragments: int = 1,
+        **payload: Any,
+    ) -> None:
+        """Convenience wrapper around :meth:`post`."""
+        self.post(Message(sender, recipient, kind, payload, _fragments))
+
+    def run(self, max_messages: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of messages delivered.
+
+        ``max_messages`` bounds runaway protocols (a protocol bug would
+        otherwise loop forever); exceeding it raises
+        :class:`~repro.errors.NetworkError`.
+        """
+        delivered = 0
+        while self._queue:
+            if delivered >= max_messages:
+                raise NetworkError(
+                    f"message budget exceeded ({max_messages}); "
+                    "protocol is likely looping"
+                )
+            message = self._queue.popleft()
+            self.messages_delivered += message.fragments
+            self.simulated_seconds += self._latency * message.fragments
+            delivered += 1
+            if message.recipient in self._failed:
+                if self._drop_to_failed:
+                    continue
+                raise NetworkError(
+                    f"message {message} addressed to failed node"
+                )
+            self.node(message.recipient).handle(self, message)
+        return delivered

@@ -1,0 +1,47 @@
+"""Trust policies: predicates over updates and acceptance rules.
+
+Definition 1 of the paper gives each participant a set of *acceptance
+rules* ``(theta, v)`` where ``theta`` is a predicate on updates and ``v``
+an integer priority.  A transaction's priority relative to participant
+``i`` — ``pri_i(X)`` — is 0 if any update in it is untrusted, otherwise the
+maximum priority of any matching rule (Section 4).
+
+:mod:`repro.policy.predicates` provides composable predicate builders
+(origin, relation, attribute value, boolean combinators);
+:mod:`repro.policy.acceptance` provides :class:`AcceptanceRule` and
+:class:`TrustPolicy`.
+"""
+
+from repro.policy.acceptance import (
+    AcceptanceRule,
+    TrustPolicy,
+    policy_from_priorities,
+)
+from repro.policy.predicates import (
+    always,
+    attribute_equals,
+    attribute_in,
+    attribute_satisfies,
+    both,
+    either,
+    negate,
+    on_relation,
+    origin_in,
+    origin_is,
+)
+
+__all__ = [
+    "AcceptanceRule",
+    "TrustPolicy",
+    "always",
+    "attribute_equals",
+    "attribute_in",
+    "attribute_satisfies",
+    "both",
+    "either",
+    "negate",
+    "on_relation",
+    "origin_in",
+    "origin_is",
+    "policy_from_priorities",
+]

@@ -1,0 +1,205 @@
+"""Composable predicates over updates, the ``theta`` of acceptance rules.
+
+The paper allows acceptance predicates "over the content as well as the
+origin" of updates (Section 3.1).  A predicate here is any callable taking
+``(schema, update)`` and returning a bool; this module provides named
+builders for the common cases plus boolean combinators, all of which
+produce picklable, reprable objects (useful when policies are logged or
+shipped to an update store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Tuple
+
+from repro.model.schema import Schema
+from repro.model.updates import Update
+
+#: The predicate signature: theta(schema, update) -> bool.
+Predicate = Callable[[Schema, Update], bool]
+
+
+@dataclass(frozen=True)
+class always:
+    """Matches every update.  ``always()`` is the catch-all theta."""
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class origin_is:
+    """Matches updates originated by one specific participant."""
+
+    participant: int
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return update.origin == self.participant
+
+    def __str__(self) -> str:
+        return f"origin = p{self.participant}"
+
+
+class origin_in:
+    """Matches updates originated by any of a set of participants."""
+
+    def __init__(self, participants: Iterable[int]) -> None:
+        self.participants: FrozenSet[int] = frozenset(participants)
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return update.origin in self.participants
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, origin_in):
+            return NotImplemented
+        return self.participants == other.participants
+
+    def __hash__(self) -> int:
+        return hash(("origin_in", self.participants))
+
+    def __str__(self) -> str:
+        members = ", ".join(f"p{p}" for p in sorted(self.participants))
+        return f"origin in {{{members}}}"
+
+
+@dataclass(frozen=True)
+class on_relation:
+    """Matches updates that touch one specific relation."""
+
+    relation: str
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return update.relation == self.relation
+
+    def __str__(self) -> str:
+        return f"relation = {self.relation}"
+
+
+@dataclass(frozen=True)
+class attribute_equals:
+    """Matches updates whose written (or, for deletes, read) row has
+    ``value`` in ``attribute``."""
+
+    relation: str
+    attribute: str
+    value: object
+
+    def _row(self, update: Update):
+        row = update.written_row()
+        if row is None:
+            row = update.read_row()
+        return row
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        if update.relation != self.relation:
+            return False
+        row = self._row(update)
+        if row is None:  # pragma: no cover - an update always has a row
+            return False
+        rel = schema.relation(self.relation)
+        return rel.value_of(row, self.attribute) == self.value
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute} = {self.value!r}"
+
+
+class attribute_in:
+    """Matches updates whose row value for ``attribute`` is in a set."""
+
+    def __init__(self, relation: str, attribute: str, values: Iterable) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.values: FrozenSet = frozenset(values)
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        if update.relation != self.relation:
+            return False
+        row = update.written_row()
+        if row is None:
+            row = update.read_row()
+        rel = schema.relation(self.relation)
+        return rel.value_of(row, self.attribute) in self.values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, attribute_in):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.attribute == other.attribute
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash(("attribute_in", self.relation, self.attribute, self.values))
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute} in {set(self.values)!r}"
+
+
+@dataclass(frozen=True)
+class attribute_satisfies:
+    """Matches updates whose row value for ``attribute`` satisfies a test.
+
+    ``test`` must be a named function (not a lambda) if the policy needs to
+    be pickled or given a meaningful repr.
+    """
+
+    relation: str
+    attribute: str
+    test: Callable[[object], bool]
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        if update.relation != self.relation:
+            return False
+        row = update.written_row()
+        if row is None:
+            row = update.read_row()
+        rel = schema.relation(self.relation)
+        return bool(self.test(rel.value_of(row, self.attribute)))
+
+    def __str__(self) -> str:
+        name = getattr(self.test, "__name__", repr(self.test))
+        return f"{name}({self.relation}.{self.attribute})"
+
+
+class both:
+    """Conjunction of predicates: matches when all components match."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        self.predicates: Tuple[Predicate, ...] = tuple(predicates)
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return all(pred(schema, update) for pred in self.predicates)
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(p) for p in self.predicates) + ")"
+
+
+class either:
+    """Disjunction of predicates: matches when any component matches."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        self.predicates: Tuple[Predicate, ...] = tuple(predicates)
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return any(pred(schema, update) for pred in self.predicates)
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(p) for p in self.predicates) + ")"
+
+
+@dataclass(frozen=True)
+class negate:
+    """Negation of a predicate."""
+
+    predicate: Predicate
+
+    def __call__(self, schema: Schema, update: Update) -> bool:
+        return not self.predicate(schema, update)
+
+    def __str__(self) -> str:
+        return f"not {self.predicate}"

@@ -1,0 +1,32 @@
+"""Update stores: the publication and retrieval substrate (Section 5.2).
+
+The update store logs published transactions with their epochs, computes
+antecedent edges at publish time, applies trust predicates, assembles
+reconciliation batches, and records each participant's decisions so no
+transaction is delivered twice.
+
+Three implementations share the :class:`repro.store.base.UpdateStore`
+interface:
+
+* :class:`repro.store.memory.MemoryUpdateStore` — plain in-process state;
+  fastest, used by the state-ratio simulations;
+* :class:`repro.store.central.CentralUpdateStore` — the paper's central
+  relational store (Section 5.2.1), here on sqlite3, with the epoch
+  begin/finish protocol and stable-epoch computation;
+* :class:`repro.store.dht.DhtUpdateStore` — the paper's distributed store
+  (Section 5.2.2), simulated over a Pastry-style ring with per-message
+  latency accounting (Figures 6-7).
+"""
+
+from repro.store.base import PerfCounters, UpdateStore
+from repro.store.central import CentralUpdateStore
+from repro.store.dht import DhtUpdateStore
+from repro.store.memory import MemoryUpdateStore
+
+__all__ = [
+    "CentralUpdateStore",
+    "DhtUpdateStore",
+    "MemoryUpdateStore",
+    "PerfCounters",
+    "UpdateStore",
+]

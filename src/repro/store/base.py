@@ -1,0 +1,185 @@
+"""The update-store interface and performance accounting.
+
+Section 5.2: the update store's fundamental role is "to publish and
+retrieve updates, and to associate each published transaction with a
+client reconciliation time."  Our interface (all implementations):
+
+* :meth:`UpdateStore.register_participant` — join the CDSS with a trust
+  policy (the store applies trust predicates store-side, as in the
+  paper's central implementation, so only relevant transactions travel);
+* :meth:`UpdateStore.publish` — publish a batch of transactions under a
+  fresh epoch; the publisher's own transactions are recorded as applied;
+* :meth:`UpdateStore.begin_reconciliation` — pick the reconciliation
+  epoch (the latest *stable* epoch), gather newly relevant trusted
+  transactions with priorities and the antecedent closure, and return a
+  :class:`~repro.core.extensions.ReconciliationBatch`;
+* :meth:`UpdateStore.complete_reconciliation` — record the participant's
+  accept/reject/defer decisions so nothing is delivered twice.
+
+Performance accounting: every store tracks a :class:`PerfCounters` of
+messages exchanged and the simulated network latency they cost.  The
+central store charges one request/reply pair per API call (client-server
+round trip); the DHT store charges every protocol message of Figures 6-7.
+Latency per message defaults to 500 microseconds, the floor the paper
+injected in its distributed experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.decisions import ReconcileResult
+from repro.core.extensions import ReconciliationBatch
+from repro.model.schema import Schema
+from repro.model.transactions import Transaction, TransactionId
+from repro.policy.acceptance import TrustPolicy
+
+#: One-way latency charged per simulated message, in seconds (paper: the
+#: distributed experiments added "a delay of at least 500 microseconds ...
+#: to every message (and reply) transmission").
+DEFAULT_MESSAGE_LATENCY = 500e-6
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative traffic and simulated-latency accounting for a store."""
+
+    messages: int = 0
+    simulated_seconds: float = 0.0
+
+    def charge(self, messages: int, latency: float) -> None:
+        """Record ``messages`` messages at ``latency`` seconds each."""
+        self.messages += messages
+        self.simulated_seconds += messages * latency
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy (for before/after deltas)."""
+        return PerfCounters(self.messages, self.simulated_seconds)
+
+    def minus(self, earlier: "PerfCounters") -> "PerfCounters":
+        """The delta between this snapshot and an earlier one."""
+        return PerfCounters(
+            self.messages - earlier.messages,
+            self.simulated_seconds - earlier.simulated_seconds,
+        )
+
+
+class UpdateStore(abc.ABC):
+    """Interface every update store implements."""
+
+    def __init__(
+        self, schema: Schema, message_latency: float = DEFAULT_MESSAGE_LATENCY
+    ) -> None:
+        self._schema = schema
+        self._message_latency = message_latency
+        self.perf = PerfCounters()
+
+    @property
+    def schema(self) -> Schema:
+        """The shared CDSS schema."""
+        return self._schema
+
+    @property
+    def message_latency(self) -> float:
+        """Simulated one-way latency per message, in seconds."""
+        return self._message_latency
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def register_participant(
+        self, participant: int, policy: TrustPolicy
+    ) -> None:
+        """Add a participant and its trust policy to the confederation."""
+
+    @abc.abstractmethod
+    def publish(
+        self, participant: int, transactions: Sequence[Transaction]
+    ) -> int:
+        """Publish a transaction batch; returns the allocated epoch.
+
+        The publisher's transactions are recorded as applied by it (they
+        are already in its local instance).  An empty batch still allocates
+        and finishes an epoch, which keeps the epoch clock advancing the
+        way the paper's global ordering assumes.
+
+        ``publish`` is the one-shot form of the decoupled protocol below:
+        ``begin_publish`` + ``write_transactions`` + ``finish_publish``.
+        """
+
+    # ------------------------------------------------------------------
+    # Decoupled publication (Section 5.2.1)
+    #
+    # "Since publishing is not instantaneous, each peer records when it
+    # has started publishing, and also when it has finished. ... when a
+    # peer requests to reconcile after publishing, it determines the
+    # latest epoch not preceded by an 'unfinished' epoch."  Exposing the
+    # begin/write/finish phases lets several peers publish concurrently
+    # while reconciliations only ever see stable prefixes.
+
+    @abc.abstractmethod
+    def begin_publish(self, participant: int) -> int:
+        """Allocate an epoch and mark it as publishing; returns the epoch."""
+
+    @abc.abstractmethod
+    def write_transactions(
+        self, participant: int, epoch: int, transactions: Sequence[Transaction]
+    ) -> None:
+        """Write transactions under an epoch opened by ``begin_publish``."""
+
+    @abc.abstractmethod
+    def finish_publish(self, participant: int, epoch: int) -> None:
+        """Mark the epoch finished; it can now become stable."""
+
+    @abc.abstractmethod
+    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
+        """Assemble the participant's next reconciliation batch."""
+
+    def begin_network_reconciliation(
+        self, participant: int
+    ) -> ReconciliationBatch:
+        """Network-centric variant: the store precomputes extensions and
+        conflicts (see :mod:`repro.store.network_centric`).  Stores that
+        only support client-centric reconciliation raise
+        :class:`NotImplementedError` — as the paper's own implementation
+        did for its distributed store."""
+        raise NotImplementedError(
+            f"{type(self).__name__} supports client-centric reconciliation only"
+        )
+
+    @abc.abstractmethod
+    def complete_reconciliation(
+        self, participant: int, result: ReconcileResult
+    ) -> None:
+        """Record the decisions of a finished reconciliation."""
+
+    # ------------------------------------------------------------------
+    # Introspection shared by benchmarks and tests
+
+    @abc.abstractmethod
+    def current_epoch(self) -> int:
+        """The highest epoch allocated so far."""
+
+    @abc.abstractmethod
+    def transaction_count(self) -> int:
+        """Total number of transactions ever published."""
+
+    @abc.abstractmethod
+    def last_reconciliation_epoch(self, participant: int) -> int:
+        """The epoch of the participant's most recent reconciliation."""
+
+    def decided_transactions(
+        self, participant: int
+    ) -> Tuple[List[Transaction], List[TransactionId], List[TransactionId]]:
+        """``(applied in publish order, rejected ids, deferred ids)``.
+
+        This is the basis of the paper's soft-state claim: "it is possible
+        to reconstruct the entire state of the participant, up to his or
+        her last reconciliation, from the update store."  Stores that
+        cannot enumerate decisions raise :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state reconstruction"
+        )

@@ -1,0 +1,874 @@
+"""The DHT-based distributed update store (Section 5.2.2, Figures 6-7).
+
+The paper built this on FreePastry with all nodes on one server and at
+least 500 microseconds charged per message.  Here the DHT is simulated on
+:mod:`repro.net`: the participants' host nodes form a consistent-hashing
+ring, and the store's logical roles are mapped onto them by key ownership:
+
+* the **epoch allocator** owns the predesignated key ``"epoch-allocator"``
+  and hands out the epoch counter;
+* the **epoch controller** for epoch ``e`` owns ``"epoch:e"`` and records
+  which transactions were published in ``e`` and whether the epoch is
+  complete;
+* the **transaction controller** for transaction ``X`` owns ``"txn:X"``
+  and stores the transaction, its antecedents, its publish order, each
+  peer's decision about it, and — because trust conditions live in the
+  store — answers requests with the requester's priority for ``X``;
+* the **value controller** for a row value owns ``"value:R:row"`` and
+  maintains the producer index used to compute antecedents at publish
+  time (an addition over the paper's prose, which does not say where
+  ``ante`` is computed; DESIGN.md discusses this substitution);
+* the **peer coordinator** for participant ``p`` owns ``"peer:p"`` and
+  records ``p``'s reconciliation epochs.
+
+Publication follows Figure 6 message-for-message; retrieval follows
+Figure 7, including controller-side forwarding of antecedent requests so
+the reconciling peer never chases chains itself.  Every message costs the
+configured latency and is accounted serially, reproducing the paper's
+message-count-dominated cost regime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.decisions import ReconcileResult
+from repro.core.extensions import (
+    ReconciliationBatch,
+    RelevantTransaction,
+    TransactionGraph,
+)
+from repro.errors import StoreError
+from repro.model.schema import Schema
+from repro.model.transactions import Transaction, TransactionId
+from repro.net.ring import HashRing
+from repro.net.simnet import Message, Network, Node
+from repro.policy.acceptance import TrustPolicy
+from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
+
+#: Publish order is (epoch, index within epoch) flattened to one integer.
+_EPOCH_STRIDE = 1_000_000
+
+#: Updates per message fragment: DHT messages are size-bounded, so a
+#: transaction body travels as ceil(updates / this) fragments, each paying
+#: the per-message latency.  Updates carry full tuple values (often two
+#: tuples, for replacements), so one update per fragment is the realistic
+#: granularity.  This keeps distributed reconciliation cost proportional
+#: to the volume of transaction data moved — the regime the paper observes
+#: ("requests to follow antecedent transaction chains dominate the running
+#: time").
+_UPDATES_PER_FRAGMENT = 1
+
+
+def _payload_fragments(transaction: Transaction) -> int:
+    """Fragments needed to ship a transaction body."""
+    updates = len(transaction.updates)
+    return max(1, -(-updates // _UPDATES_PER_FRAGMENT))
+
+
+class _RingView:
+    """A failure-aware view of the ring, shared by the store and all hosts.
+
+    Ownership of a key routes to the next live node clockwise when the
+    primary owner has failed — the standard DHT takeover rule.
+    """
+
+    def __init__(self, ring: HashRing) -> None:
+        self._ring = ring
+        self.failed: set = set()
+
+    def owner(self, key: str) -> str:
+        if self.failed:
+            return self._ring.owner_excluding(key, self.failed)
+        return self._ring.owner(key)
+
+
+class _HostNode(Node):
+    """One physical DHT peer, hosting whatever roles the ring assigns it."""
+
+    def __init__(self, name: str, schema: Schema, cache_bodies: bool = True) -> None:
+        super().__init__(name)
+        self._schema = schema
+        self._cache_bodies = cache_bodies
+        # Epoch-allocator role.
+        self.epoch_counter = 0
+        # Epoch-controller role: epoch -> record.
+        self.epochs: Dict[int, Dict[str, Any]] = {}
+        # Transaction-controller role: tid -> record.
+        self.txns: Dict[TransactionId, Dict[str, Any]] = {}
+        # Value-controller role: (relation, row) -> producing tid.
+        self.producers: Dict[Tuple[str, Tuple], TransactionId] = {}
+        # Peer-coordinator role: participant -> record.
+        self.peers: Dict[int, Dict[str, Any]] = {}
+        # Trust conditions, replicated to every node at registration.
+        self.policies: Dict[int, TrustPolicy] = {}
+        # Failure-aware ring view, set by the store after construction.
+        self.ring: Optional["_RingView"] = None
+        # Dedup of served antecedent-forwarded requests: (token, tid).
+        self.served: Set[Tuple[str, TransactionId]] = set()
+        # Transactions whose full body each participant has already
+        # received.  Clients cache transaction bodies in their soft state
+        # (Section 5.2), so later deliveries of the same transaction —
+        # e.g. an old antecedent reappearing in a new chain — only need a
+        # small header, not the payload.
+        self.delivered: Set[Tuple[int, TransactionId]] = set()
+
+    # ------------------------------------------------------------------
+
+    def handle(self, network: Network, message: Message) -> None:
+        """Dispatch on message kind."""
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            raise StoreError(f"host cannot handle message kind {message.kind!r}")
+        handler(network, message)
+
+    # -- registration ---------------------------------------------------
+
+    def _on_register_policy(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        self.policies[payload["participant"]] = payload["policy"]
+
+    # -- epoch allocator (Figure 6, messages 1-4) -----------------------
+
+    def _on_request_epoch(self, network: Network, message: Message) -> None:
+        self.epoch_counter += 1
+        epoch = self.epoch_counter
+        controller = self.ring.owner(f"epoch:{epoch}")
+        network.send(
+            self.name,
+            controller,
+            "begin_epoch",
+            epoch=epoch,
+            publisher=message.payload["publisher"],
+            reply_to=message.sender,
+        )
+
+    def _on_begin_epoch(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        self.epochs[payload["epoch"]] = {
+            "publisher": payload["publisher"],
+            "ids": [],
+            "complete": False,
+        }
+        allocator = self.ring.owner("epoch-allocator")
+        network.send(
+            self.name,
+            allocator,
+            "epoch_begun",
+            epoch=payload["epoch"],
+            reply_to=payload["reply_to"],
+        )
+
+    def _on_epoch_begun(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        network.send(
+            self.name,
+            payload["reply_to"],
+            "begin_publishing",
+            epoch=payload["epoch"],
+        )
+
+    def _on_get_current_epoch(self, network: Network, message: Message) -> None:
+        network.send(
+            self.name, message.sender, "current_epoch", epoch=self.epoch_counter
+        )
+
+    def _on_poll_max_epoch(self, network: Network, message: Message) -> None:
+        """Report the largest epoch this node has seen (allocator recovery).
+
+        Section 5.2.2: "if this peer were to fail, its data could be
+        reconstructed by polling for the largest epoch present in the
+        system" — every node answers with the largest epoch among those it
+        controls (or has allocated).
+        """
+        known = max(self.epochs, default=0)
+        network.send(
+            self.name,
+            message.sender,
+            "max_epoch",
+            epoch=max(known, self.epoch_counter),
+        )
+
+    def _on_set_epoch_counter(self, network: Network, message: Message) -> None:
+        self.epoch_counter = max(self.epoch_counter, message.payload["epoch"])
+        network.send(
+            self.name, message.sender, "epoch_counter_set",
+            epoch=self.epoch_counter,
+        )
+
+    # -- epoch controller (Figure 6, messages 5-6) ----------------------
+
+    def _on_publish_ids(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        record = self.epochs.get(payload["epoch"])
+        if record is None:  # pragma: no cover - protocol guarantee
+            raise StoreError(f"epoch {payload['epoch']} was never begun here")
+        record["ids"] = list(payload["ids"])
+        record["complete"] = True
+        network.send(
+            self.name,
+            message.sender,
+            "epoch_finished",
+            epoch=payload["epoch"],
+        )
+
+    def _on_get_epoch_contents(self, network: Network, message: Message) -> None:
+        """Serve the contents of every requested epoch this node controls.
+
+        The reconciling peer batches all epochs owned by the same
+        controller into one request, so the per-reconciliation overhead is
+        one round trip per *distinct controller*, not per epoch.
+        """
+        payload = message.payload
+        results = []
+        for epoch in payload["epochs"]:
+            record = self.epochs.get(epoch)
+            results.append(
+                {
+                    "epoch": epoch,
+                    "ids": list(record["ids"]) if record else [],
+                    "complete": bool(record and record["complete"]),
+                    "exists": record is not None,
+                }
+            )
+        network.send(
+            self.name, message.sender, "epoch_contents", results=results
+        )
+
+    # -- value controllers (producer index) -----------------------------
+
+    def _on_lookup_producer(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        key = (payload["relation"], payload["row"])
+        network.send(
+            self.name,
+            message.sender,
+            "producer_is",
+            relation=payload["relation"],
+            row=payload["row"],
+            producer=self.producers.get(key),
+        )
+
+    def _on_register_producer(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        self.producers[(payload["relation"], payload["row"])] = payload["tid"]
+
+    # -- transaction controllers ----------------------------------------
+
+    def _on_store_txn(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        transaction: Transaction = payload["transaction"]
+        self.txns[transaction.tid] = {
+            "transaction": transaction,
+            "antecedents": tuple(payload["antecedents"]),
+            "order": payload["order"],
+            "decisions": {transaction.origin: "applied"},
+        }
+        network.send(
+            self.name, message.sender, "txn_stored", tid=transaction.tid
+        )
+
+    def _on_request_txn(self, network: Network, message: Message) -> None:
+        """Figure 7: serve a transaction, forwarding antecedent requests."""
+        payload = message.payload
+        tid: TransactionId = payload["tid"]
+        participant: int = payload["participant"]
+        client: str = payload["client"]
+        token: str = payload["token"]
+        as_root: bool = payload["as_root"]
+
+        if (token, tid) in self.served:
+            return  # someone already triggered this delivery
+
+        record = self.txns.get(tid)
+        if record is None:
+            network.send(self.name, client, "txn_unknown", tid=tid)
+            return
+
+        verdict = record["decisions"].get(participant)
+        transaction: Transaction = record["transaction"]
+        priority = 0
+        policy = self.policies.get(participant)
+        if policy is not None:
+            priority = policy.priority_of(self._schema, transaction)
+
+        if verdict in ("applied", "rejected"):
+            # Permanently irrelevant for this participant.
+            self.served.add((token, tid))
+            network.send(self.name, client, "txn_irrelevant", tid=tid)
+            return
+        if as_root and (verdict == "deferred" or priority <= 0):
+            # Not deliverable as a root, but a later forwarded request may
+            # still need it as an antecedent — do not mark it served.
+            network.send(self.name, client, "txn_irrelevant", tid=tid)
+            return
+
+        self.served.add((token, tid))
+        first_delivery = (
+            not self._cache_bodies
+            or (participant, tid) not in self.delivered
+        )
+        self.delivered.add((participant, tid))
+        network.send(
+            self.name,
+            client,
+            "txn_data",
+            _fragments=_payload_fragments(transaction) if first_delivery else 1,
+            tid=tid,
+            transaction=transaction,
+            antecedents=record["antecedents"],
+            order=record["order"],
+            priority=priority,
+            as_root=as_root,
+        )
+        # Forward requests for the antecedents directly to their
+        # controllers (Figure 7, messages 3-4): the peer never has to ask.
+        for ante in record["antecedents"]:
+            controller = self.ring.owner(f"txn:{ante}")
+            network.send(
+                self.name,
+                controller,
+                "request_txn",
+                tid=ante,
+                participant=participant,
+                client=client,
+                token=token,
+                as_root=False,
+            )
+
+    def _on_record_decision(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        record = self.txns.get(payload["tid"])
+        if record is None:  # pragma: no cover - protocol guarantee
+            raise StoreError(f"no such transaction {payload['tid']}")
+        record["decisions"][payload["participant"]] = payload["verdict"]
+        network.send(
+            self.name,
+            message.sender,
+            "decision_recorded",
+            tid=payload["tid"],
+        )
+
+    # -- peer coordinators ----------------------------------------------
+
+    def _on_record_recon(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        record = self.peers.setdefault(
+            payload["participant"], {"last_recon_epoch": 0}
+        )
+        record["last_recon_epoch"] = payload["epoch"]
+        network.send(
+            self.name, message.sender, "recon_recorded", epoch=payload["epoch"]
+        )
+
+    def _on_get_last_recon(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        record = self.peers.get(payload["participant"], {"last_recon_epoch": 0})
+        network.send(
+            self.name,
+            message.sender,
+            "last_recon",
+            epoch=record["last_recon_epoch"],
+        )
+
+
+class _ClientNode(Node):
+    """The reconciling/publishing peer's endpoint: an inbox."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.inbox: List[Message] = []
+
+    def handle(self, network: Network, message: Message) -> None:
+        """Collect replies for the store driver to consume."""
+        self.inbox.append(message)
+
+    def drain(self) -> List[Message]:
+        """Return and clear the inbox."""
+        messages, self.inbox = self.inbox, []
+        return messages
+
+
+class DhtUpdateStore(UpdateStore):
+    """Distributed update store over a simulated Pastry-style ring."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        hosts: int = 4,
+        message_latency: float = DEFAULT_MESSAGE_LATENCY,
+        cache_bodies: bool = True,
+    ) -> None:
+        """``cache_bodies=False`` ablates the soft-state body cache:
+        controllers re-ship full transaction payloads on every delivery,
+        reproducing the round-trip-heavy behaviour the paper's early
+        prototypes suffered from ("it was vital to reduce the number of
+        messages sent between the update store and each participant")."""
+        super().__init__(schema, message_latency)
+        if hosts < 1:
+            raise StoreError("the DHT needs at least one host node")
+        self._network = Network(latency=message_latency)
+        host_names = [f"host:{i}" for i in range(hosts)]
+        self._hosts: Dict[str, _HostNode] = {}
+        for name in host_names:
+            node = _HostNode(name, schema, cache_bodies=cache_bodies)
+            self._hosts[name] = node
+            self._network.add_node(node)
+        self._ring = _RingView(HashRing(host_names))
+        for node in self._hosts.values():
+            node.ring = self._ring
+        self._clients: Dict[int, _ClientNode] = {}
+        self._policies: Dict[int, TrustPolicy] = {}
+        self._token_counter = 0
+        self._failed_hosts: set = set()
+        self._open_epochs: Dict[Tuple[int, int], List[TransactionId]] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    @property
+    def network(self) -> Network:
+        """The underlying simulated network (exposed for tests)."""
+        return self._network
+
+    def _client(self, participant: int) -> _ClientNode:
+        try:
+            return self._clients[participant]
+        except KeyError:
+            raise StoreError(
+                f"participant {participant} is not registered"
+            ) from None
+
+    def _run(self) -> None:
+        """Drain the network and mirror its counters into ``perf``."""
+        before_msgs = self._network.messages_delivered
+        before_secs = self._network.simulated_seconds
+        self._network.run()
+        self.perf.charge(self._network.messages_delivered - before_msgs, 0.0)
+        self.perf.simulated_seconds += (
+            self._network.simulated_seconds - before_secs
+        )
+
+    def _owner(self, key: str) -> str:
+        return self._ring.owner(key)
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register_participant(
+        self, participant: int, policy: TrustPolicy
+    ) -> None:
+        """Join the confederation; trust conditions replicate to all hosts."""
+        if participant in self._clients:
+            raise StoreError(f"participant {participant} already registered")
+        client = _ClientNode(f"client:{participant}")
+        self._clients[participant] = client
+        self._policies[participant] = policy
+        self._network.add_node(client)
+        for host in self._hosts:
+            self._network.send(
+                client.name,
+                host,
+                "register_policy",
+                participant=participant,
+                policy=policy,
+            )
+        self._run()
+        client.drain()
+
+    # ------------------------------------------------------------------
+    # Publication (Figure 6)
+
+    def publish(
+        self, participant: int, transactions: Sequence[Transaction]
+    ) -> int:
+        """Publish a batch; the full Figure 6 protocol plus producer upkeep."""
+        epoch = self.begin_publish(participant)
+        try:
+            self.write_transactions(participant, epoch, transactions)
+        finally:
+            self.finish_publish(participant, epoch)
+        return epoch
+
+    def begin_publish(self, participant: int) -> int:
+        """Figure 6, messages 1-4: obtain an epoch from the allocator."""
+        client = self._client(participant)
+        self._network.send(
+            client.name,
+            self._owner("epoch-allocator"),
+            "request_epoch",
+            publisher=participant,
+        )
+        self._run()
+        epoch = self._expect(client, "begin_publishing")["epoch"]
+        self._open_epochs[(participant, epoch)] = []
+        return epoch
+
+    def write_transactions(
+        self, participant: int, epoch: int, transactions: Sequence[Transaction]
+    ) -> None:
+        """Ship transactions to their controllers under an open epoch."""
+        client = self._client(participant)
+        ids = self._open_epochs.get((participant, epoch))
+        if ids is None:
+            raise StoreError(
+                f"epoch {epoch} is not being published by {participant}"
+            )
+        for transaction in transactions:
+            if transaction.origin != participant:
+                raise StoreError(
+                    f"participant {participant} cannot publish {transaction.tid}"
+                )
+        for transaction in transactions:
+            antecedents = self._compute_antecedents_remote(client, transaction)
+            order = epoch * _EPOCH_STRIDE + len(ids)
+            self._network.send(
+                client.name,
+                self._owner(f"txn:{transaction.tid}"),
+                "store_txn",
+                _fragments=_payload_fragments(transaction),
+                transaction=transaction,
+                antecedents=antecedents,
+                order=order,
+            )
+            for update in transaction.updates:
+                written = update.written_row()
+                if written is not None:
+                    self._network.send(
+                        client.name,
+                        self._owner(f"value:{update.relation}:{written!r}"),
+                        "register_producer",
+                        relation=update.relation,
+                        row=written,
+                        tid=transaction.tid,
+                    )
+            self._run()
+            client.drain()
+            ids.append(transaction.tid)
+
+    def finish_publish(self, participant: int, epoch: int) -> None:
+        """Figure 6, messages 5-6: hand the id list to the epoch controller."""
+        client = self._client(participant)
+        ids = self._open_epochs.pop((participant, epoch), None)
+        if ids is None:
+            raise StoreError(
+                f"epoch {epoch} is not being published by {participant}"
+            )
+        self._network.send(
+            client.name,
+            self._owner(f"epoch:{epoch}"),
+            "publish_ids",
+            epoch=epoch,
+            ids=ids,
+        )
+        self._run()
+        self._expect(client, "epoch_finished")
+
+    def _compute_antecedents_remote(
+        self, client: _ClientNode, transaction: Transaction
+    ) -> List[TransactionId]:
+        """Antecedents via value-controller lookups (one round trip each).
+
+        Rows produced earlier inside the same transaction are internal
+        chains, not antecedent edges; earlier transactions of the same
+        batch have already registered their producers, so the remote
+        lookup resolves cross-transaction dependencies within a batch too.
+        """
+        antecedents: List[TransactionId] = []
+        produced_in_txn: Set[Tuple[str, Tuple]] = set()
+        for update in transaction.updates:
+            read = update.read_row()
+            if read is not None:
+                key = (update.relation, read)
+                if key in produced_in_txn:
+                    produced_in_txn.discard(key)
+                else:
+                    self._lookup_and_add(client, update, antecedents, transaction)
+            written = update.written_row()
+            if written is not None:
+                produced_in_txn.add((update.relation, written))
+        return antecedents
+
+    def _lookup_and_add(
+        self,
+        client: _ClientNode,
+        update,
+        antecedents: List[TransactionId],
+        transaction: Transaction,
+    ) -> None:
+        read = update.read_row()
+        self._network.send(
+            client.name,
+            self._owner(f"value:{update.relation}:{read!r}"),
+            "lookup_producer",
+            relation=update.relation,
+            row=read,
+        )
+        self._run()
+        reply = self._expect(client, "producer_is")
+        producer = reply["producer"]
+        if (
+            producer is not None
+            and producer != transaction.tid
+            and producer not in antecedents
+        ):
+            antecedents.append(producer)
+
+    # ------------------------------------------------------------------
+    # Reconciliation (Figure 7)
+
+    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
+        """Assemble the next batch via the distributed retrieval protocol."""
+        client = self._client(participant)
+
+        self._network.send(
+            client.name,
+            self._owner("epoch-allocator"),
+            "get_current_epoch",
+        )
+        self._run()
+        current = self._expect(client, "current_epoch")["epoch"]
+
+        self._network.send(
+            client.name,
+            self._owner(f"peer:{participant}"),
+            "get_last_recon",
+            participant=participant,
+        )
+        self._run()
+        last = self._expect(client, "last_recon")["epoch"]
+
+        # Fetch epoch contents — one batched request per distinct epoch
+        # controller — and find the most recent stable epoch.
+        by_controller: Dict[str, List[int]] = {}
+        for epoch in range(last + 1, current + 1):
+            controller = self._owner(f"epoch:{epoch}")
+            by_controller.setdefault(controller, []).append(epoch)
+        for controller, epochs in by_controller.items():
+            self._network.send(
+                client.name, controller, "get_epoch_contents", epochs=epochs
+            )
+        self._run()
+        per_epoch: Dict[int, Dict] = {}
+        for _ in range(len(by_controller)):
+            reply = self._expect(client, "epoch_contents")
+            for entry in reply["results"]:
+                per_epoch[entry["epoch"]] = entry
+        contents: Dict[int, List[TransactionId]] = {}
+        stable = last
+        for epoch in range(last + 1, current + 1):
+            entry = per_epoch.get(epoch)
+            if entry is None or not entry["exists"] or not entry["complete"]:
+                break
+            contents[epoch] = entry["ids"]
+            stable = epoch
+
+        self._network.send(
+            client.name,
+            self._owner(f"peer:{participant}"),
+            "record_recon",
+            participant=participant,
+            epoch=stable,
+        )
+        self._run()
+        self._expect(client, "recon_recorded")
+
+        # Request every candidate root; controllers forward antecedents.
+        self._token_counter += 1
+        token = f"recon:{participant}:{self._token_counter}"
+        requested_roots: Set[TransactionId] = set()
+        for epoch in sorted(contents):
+            if epoch > stable:
+                continue
+            for tid in contents[epoch]:
+                if tid.participant == participant:
+                    continue
+                requested_roots.add(tid)
+                self._network.send(
+                    client.name,
+                    self._owner(f"txn:{tid}"),
+                    "request_txn",
+                    tid=tid,
+                    participant=participant,
+                    client=client.name,
+                    token=token,
+                    as_root=True,
+                )
+        self._run()
+
+        roots: List[RelevantTransaction] = []
+        graph = TransactionGraph()
+        for message in client.drain():
+            if message.kind != "txn_data":
+                continue
+            payload = message.payload
+            graph.add(
+                payload["transaction"],
+                payload["antecedents"],
+                payload["order"],
+            )
+            if payload["as_root"] and payload["tid"] in requested_roots:
+                roots.append(
+                    RelevantTransaction(
+                        transaction=payload["transaction"],
+                        priority=payload["priority"],
+                        order=payload["order"],
+                    )
+                )
+        return ReconciliationBatch(
+            recno=stable,
+            roots=sorted(roots, key=lambda r: r.order),
+            graph=graph,
+        )
+
+    # ------------------------------------------------------------------
+
+    def complete_reconciliation(
+        self, participant: int, result: ReconcileResult
+    ) -> None:
+        """Notify each transaction controller of the decision."""
+        client = self._client(participant)
+        decisions = [
+            (tid, "applied") for tid in result.applied
+        ] + [
+            (tid, "rejected") for tid in result.rejected
+        ] + [
+            (tid, "deferred") for tid in result.deferred
+        ]
+        for tid, verdict in decisions:
+            self._network.send(
+                client.name,
+                self._owner(f"txn:{tid}"),
+                "record_decision",
+                tid=tid,
+                participant=participant,
+                verdict=verdict,
+            )
+        self._run()
+        client.drain()
+
+    # ------------------------------------------------------------------
+    # Failure injection and recovery (Section 5.2.2's sketch)
+
+    def fail_host(self, host_name: str) -> None:
+        """Take a physical host down.
+
+        Role ownership routes around failed hosts from now on (the next
+        live node clockwise takes over each key).  State held by the
+        failed host is lost except for the epoch allocator's counter,
+        which :meth:`recover_epoch_allocator` reconstructs by polling —
+        the recovery path the paper sketches.  Full data re-replication
+        is future work in the paper and out of scope here.
+        """
+        if host_name not in self._hosts:
+            raise StoreError(f"unknown host {host_name!r}")
+        live = set(self._hosts) - self._failed_hosts - {host_name}
+        if not live:
+            raise StoreError("cannot fail the last live host")
+        self._network.fail_node(host_name)
+        self._failed_hosts.add(host_name)
+        self._ring.failed.add(host_name)
+
+    def allocator_host(self) -> str:
+        """The host currently owning the epoch-allocator role."""
+        return self._owner("epoch-allocator")
+
+    def recover_epoch_allocator(self, participant: int) -> int:
+        """Rebuild the epoch counter at the allocator role's new owner.
+
+        ``participant`` drives the recovery: it polls every live host for
+        the largest epoch it has seen and installs the maximum at the new
+        allocator.  Returns the recovered epoch counter.
+        """
+        client = self._client(participant)
+        live_hosts = [
+            name for name in self._hosts if name not in self._failed_hosts
+        ]
+        for host in live_hosts:
+            self._network.send(client.name, host, "poll_max_epoch")
+        self._run()
+        largest = 0
+        for _ in range(len(live_hosts)):
+            reply = self._expect(client, "max_epoch")
+            largest = max(largest, reply["epoch"])
+        self._network.send(
+            client.name,
+            self._owner("epoch-allocator"),
+            "set_epoch_counter",
+            epoch=largest,
+        )
+        self._run()
+        reply = self._expect(client, "epoch_counter_set")
+        return reply["epoch"]
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def current_epoch(self) -> int:
+        """The allocator's epoch counter (read locally, no messages)."""
+        allocator = self._hosts[self._owner("epoch-allocator")]
+        return allocator.epoch_counter
+
+    def transaction_count(self) -> int:
+        """Total transactions stored across all controllers."""
+        return sum(len(host.txns) for host in self._hosts.values())
+
+    def last_reconciliation_epoch(self, participant: int) -> int:
+        """The peer coordinator's record (read locally, no messages)."""
+        self._client(participant)  # validate registration
+        coordinator = self._hosts[self._owner(f"peer:{participant}")]
+        record = coordinator.peers.get(participant, {"last_recon_epoch": 0})
+        return record["last_recon_epoch"]
+
+    def antecedents_of(self, tid: TransactionId) -> Tuple[TransactionId, ...]:
+        """The antecedents stored at the transaction's controller."""
+        return self._nc_lookup(tid)[1]
+
+    def decided_transactions(self, participant: int):
+        """Applied transactions (publish order) plus rejected/deferred ids.
+
+        Aggregated across controllers by the driver (state reconstruction
+        is a maintenance operation, not part of the timed protocols).
+        """
+        self._client(participant)  # validate registration
+        applied: List[Tuple[int, Transaction]] = []
+        rejected: List[TransactionId] = []
+        deferred: List[TransactionId] = []
+        for host in self._hosts.values():
+            for tid, record in host.txns.items():
+                verdict = record["decisions"].get(participant)
+                if verdict == "applied":
+                    applied.append((record["order"], record["transaction"]))
+                elif verdict == "rejected":
+                    rejected.append(tid)
+                elif verdict == "deferred":
+                    deferred.append(tid)
+        applied.sort(key=lambda pair: pair[0])
+        return (
+            [transaction for _order, transaction in applied],
+            sorted(rejected),
+            sorted(deferred),
+        )
+
+    def _nc_lookup(self, tid: TransactionId):
+        """Driver-side transaction lookup (used by state reconstruction)."""
+        controller = self._hosts[self._owner(f"txn:{tid}")]
+        record = controller.txns.get(tid)
+        if record is None:
+            from repro.errors import UnknownTransactionError
+
+            raise UnknownTransactionError(str(tid))
+        return record["transaction"], record["antecedents"], record["order"]
+
+    # ------------------------------------------------------------------
+
+    def _expect(self, client: _ClientNode, kind: str) -> Dict[str, Any]:
+        """Pop the first inbox message of ``kind``; error if absent."""
+        for index, message in enumerate(client.inbox):
+            if message.kind == kind:
+                client.inbox.pop(index)
+                return message.payload
+        raise StoreError(
+            f"expected a {kind!r} reply; inbox has "
+            f"{[m.kind for m in client.inbox]}"
+        )

@@ -1,0 +1,109 @@
+"""Store-side bookkeeping shared by every update-store implementation.
+
+* :func:`compute_antecedents` — discover ``ante(X)`` at publish time by
+  looking up, for every row value a transaction consumes, which earlier
+  published transaction produced that value (the *producer index*);
+* :func:`register_producers` — extend the producer index with the values a
+  newly published transaction produces;
+* :func:`stable_epoch` — the paper's "latest epoch not preceded by an
+  unfinished epoch" rule that decouples publishing from reconciliation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.model.transactions import Transaction, TransactionId
+
+#: Producer index: (relation, full row value) -> transaction that produced
+#: that exact row most recently.  "Most recent wins" when divergent
+#: branches produce the same value; the ambiguity is inherent to
+#: value-based provenance and is documented in DESIGN.md.
+ProducerIndex = Dict[Tuple[str, Tuple], TransactionId]
+
+
+def compute_antecedents(
+    producers: ProducerIndex, transaction: Transaction
+) -> List[TransactionId]:
+    """The direct antecedents ``ante(X)`` of a transaction being published.
+
+    A transaction's update that deletes or modifies a row depends on the
+    transaction that inserted, or modified *to*, that row — unless the row
+    was produced earlier inside the same transaction (an internal chain).
+    """
+    antecedents: List[TransactionId] = []
+    produced_locally: Set[Tuple[str, Tuple]] = set()
+    for update in transaction.updates:
+        read = update.read_row()
+        if read is not None:
+            key = (update.relation, read)
+            if key in produced_locally:
+                produced_locally.discard(key)
+            else:
+                producer = producers.get(key)
+                if producer is not None and producer != transaction.tid:
+                    if producer not in antecedents:
+                        antecedents.append(producer)
+        written = update.written_row()
+        if written is not None:
+            produced_locally.add((update.relation, written))
+    return antecedents
+
+
+def register_producers(
+    producers: ProducerIndex, transaction: Transaction
+) -> None:
+    """Record every row value ``transaction`` produces in the index.
+
+    Intermediate values of internal chains are registered too: another
+    participant may have reconciled mid-chain in an earlier epoch and later
+    publish an update consuming the intermediate value.
+    """
+    for update in transaction.updates:
+        written = update.written_row()
+        if written is not None:
+            producers[(update.relation, written)] = transaction.tid
+
+
+def stable_epoch(finished: Dict[int, bool], current: int) -> int:
+    """The largest epoch ``e`` with no unfinished epoch at or before it.
+
+    ``finished`` maps allocated epoch numbers to completion flags;
+    ``current`` is the highest allocated epoch.  Gaps (aborted epochs that
+    never began publishing) do not block stability only if recorded as
+    finished; callers mark abandoned epochs finished explicitly.
+    """
+    stable = 0
+    for epoch in range(1, current + 1):
+        if not finished.get(epoch, False):
+            break
+        stable = epoch
+    return stable
+
+
+def antecedent_closure(
+    antecedents_of,
+    roots: Iterable[TransactionId],
+    stop: Set[TransactionId],
+) -> List[TransactionId]:
+    """All transactions reachable from ``roots`` via antecedent edges.
+
+    Walks ``antecedents_of(tid)`` transitively, not descending into
+    transactions in ``stop`` (already applied by the requesting
+    participant — the store prunes them to save bandwidth, exactly as the
+    paper's transaction controllers answer "not relevant").  Roots are
+    always included.
+    """
+    closure: List[TransactionId] = []
+    seen: Set[TransactionId] = set()
+    stack = list(roots)
+    while stack:
+        tid = stack.pop()
+        if tid in seen:
+            continue
+        seen.add(tid)
+        closure.append(tid)
+        for ante in antecedents_of(tid):
+            if ante not in seen and ante not in stop:
+                stack.append(ante)
+    return closure

@@ -1,0 +1,291 @@
+"""In-process update store — the reference implementation.
+
+Implements the full store contract in plain Python structures.  The
+central sqlite store and the simulated DHT store must behave identically;
+their tests compare against this one.
+
+Message accounting: one request/reply pair (2 messages) per public API
+call, matching a client talking to a single server with batched
+operations — the paper's observation that "a constant number of procedures
+are invoked during each reconciliation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.decisions import ReconcileResult
+from repro.core.extensions import (
+    ReconciliationBatch,
+    RelevantTransaction,
+    TransactionGraph,
+)
+from repro.errors import StoreError, UnknownTransactionError
+from repro.model.schema import Schema
+from repro.model.transactions import Transaction, TransactionId
+from repro.policy.acceptance import TrustPolicy
+from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
+from repro.store.network_centric import NetworkCentricMixin
+from repro.store.logic import (
+    ProducerIndex,
+    antecedent_closure,
+    compute_antecedents,
+    register_producers,
+    stable_epoch,
+)
+
+
+@dataclass
+class _PublishedTransaction:
+    """A transaction as logged by the store."""
+
+    transaction: Transaction
+    epoch: int
+    order: int  # global publish index
+    antecedents: Tuple[TransactionId, ...]
+
+
+@dataclass
+class _ParticipantRecord:
+    """Store-side per-participant state (Section 5.2's moved sets)."""
+
+    policy: TrustPolicy
+    last_recon_epoch: int = 0
+    applied: Set[TransactionId] = field(default_factory=set)
+    rejected: Set[TransactionId] = field(default_factory=set)
+    deferred: Set[TransactionId] = field(default_factory=set)
+
+
+class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
+    """The reference in-process update store."""
+
+    def __init__(
+        self, schema: Schema, message_latency: float = DEFAULT_MESSAGE_LATENCY
+    ) -> None:
+        super().__init__(schema, message_latency)
+        self._participants: Dict[int, _ParticipantRecord] = {}
+        self._log: Dict[TransactionId, _PublishedTransaction] = {}
+        self._by_epoch: Dict[int, List[TransactionId]] = {}
+        self._producers: ProducerIndex = {}
+        self._epoch = 0
+        self._epoch_finished: Dict[int, bool] = {}
+        self._epoch_publisher: Dict[int, int] = {}
+        self._order = 0
+
+    # ------------------------------------------------------------------
+
+    def register_participant(
+        self, participant: int, policy: TrustPolicy
+    ) -> None:
+        """Add a participant and its trust policy."""
+        if participant in self._participants:
+            raise StoreError(f"participant {participant} already registered")
+        self._participants[participant] = _ParticipantRecord(policy=policy)
+        self.perf.charge(2, self._message_latency)
+
+    def _record_of(self, participant: int) -> _ParticipantRecord:
+        try:
+            return self._participants[participant]
+        except KeyError:
+            raise StoreError(
+                f"participant {participant} is not registered"
+            ) from None
+
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, participant: int, transactions: Sequence[Transaction]
+    ) -> int:
+        """Publish a batch under a fresh epoch; see the base class."""
+        epoch = self.begin_publish(participant)
+        self.write_transactions(participant, epoch, transactions)
+        self.finish_publish(participant, epoch)
+        return epoch
+
+    def begin_publish(self, participant: int) -> int:
+        """Allocate an epoch and mark it as publishing."""
+        self._record_of(participant)
+        self._epoch += 1
+        epoch = self._epoch
+        self._epoch_finished[epoch] = False
+        self._by_epoch[epoch] = []
+        self._epoch_publisher[epoch] = participant
+        self.perf.charge(2, self._message_latency)
+        return epoch
+
+    def _validate_open_epoch(self, participant: int, epoch: int) -> None:
+        if self._epoch_publisher.get(epoch) != participant:
+            raise StoreError(
+                f"epoch {epoch} is not being published by {participant}"
+            )
+        if self._epoch_finished.get(epoch, True):
+            raise StoreError(f"epoch {epoch} is already finished")
+
+    def write_transactions(
+        self, participant: int, epoch: int, transactions: Sequence[Transaction]
+    ) -> None:
+        """Write transactions under an open epoch."""
+        record = self._record_of(participant)
+        self._validate_open_epoch(participant, epoch)
+        for transaction in transactions:
+            if transaction.origin != participant:
+                raise StoreError(
+                    f"participant {participant} cannot publish {transaction.tid}"
+                )
+            if transaction.tid in self._log:
+                raise StoreError(
+                    f"transaction {transaction.tid} was already published"
+                )
+        for transaction in transactions:
+            antecedents = tuple(
+                compute_antecedents(self._producers, transaction)
+            )
+            entry = _PublishedTransaction(
+                transaction=transaction,
+                epoch=epoch,
+                order=self._order,
+                antecedents=antecedents,
+            )
+            self._order += 1
+            self._log[transaction.tid] = entry
+            self._by_epoch[epoch].append(transaction.tid)
+            register_producers(self._producers, transaction)
+            record.applied.add(transaction.tid)
+        self.perf.charge(2, self._message_latency)
+
+    def finish_publish(self, participant: int, epoch: int) -> None:
+        """Mark the epoch finished."""
+        self._validate_open_epoch(participant, epoch)
+        self._epoch_finished[epoch] = True
+        self.perf.charge(2, self._message_latency)
+
+    # ------------------------------------------------------------------
+
+    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
+        """Assemble the next batch; see the base class."""
+        record = self._record_of(participant)
+        recon_epoch = stable_epoch(self._epoch_finished, self._epoch)
+
+        roots: List[RelevantTransaction] = []
+        for epoch in range(record.last_recon_epoch + 1, recon_epoch + 1):
+            for tid in self._by_epoch.get(epoch, ()):
+                entry = self._log[tid]
+                if entry.transaction.origin == participant:
+                    continue
+                if tid in record.applied or tid in record.rejected:
+                    continue
+                if tid in record.deferred:
+                    continue  # the client caches and reconsiders these
+                priority = record.policy.priority_of(
+                    self._schema, entry.transaction
+                )
+                if priority <= 0:
+                    continue
+                roots.append(
+                    RelevantTransaction(
+                        transaction=entry.transaction,
+                        priority=priority,
+                        order=entry.order,
+                    )
+                )
+
+        graph = TransactionGraph()
+        closure = antecedent_closure(
+            lambda tid: self._log[tid].antecedents,
+            [root.tid for root in roots],
+            stop=record.applied,
+        )
+        for tid in closure:
+            entry = self._log[tid]
+            graph.add(entry.transaction, entry.antecedents, entry.order)
+
+        record.last_recon_epoch = recon_epoch
+        self.perf.charge(2, self._message_latency)
+        return ReconciliationBatch(
+            recno=recon_epoch,
+            roots=sorted(roots, key=lambda r: r.order),
+            graph=graph,
+        )
+
+    # ------------------------------------------------------------------
+
+    def complete_reconciliation(
+        self, participant: int, result: ReconcileResult
+    ) -> None:
+        """Record decisions; see the base class."""
+        record = self._record_of(participant)
+        for tid in result.applied:
+            # One verdict per transaction: applied supersedes earlier
+            # rejections (the engine's "applied wins" rule).
+            record.applied.add(tid)
+            record.deferred.discard(tid)
+            record.rejected.discard(tid)
+        for tid in result.rejected:
+            record.rejected.add(tid)
+            record.deferred.discard(tid)
+        for tid in result.deferred:
+            record.deferred.add(tid)
+        self.perf.charge(2, self._message_latency)
+
+    # ------------------------------------------------------------------
+
+    def current_epoch(self) -> int:
+        """The highest epoch allocated so far."""
+        return self._epoch
+
+    def transaction_count(self) -> int:
+        """Total number of transactions ever published."""
+        return len(self._log)
+
+    def last_reconciliation_epoch(self, participant: int) -> int:
+        """The participant's most recent reconciliation epoch."""
+        return self._record_of(participant).last_recon_epoch
+
+    # ------------------------------------------------------------------
+    # Extra introspection used by tests
+
+    def antecedents_of(self, tid: TransactionId) -> Tuple[TransactionId, ...]:
+        """The antecedents the store computed for ``tid`` at publish time."""
+        try:
+            return self._log[tid].antecedents
+        except KeyError:
+            raise UnknownTransactionError(str(tid)) from None
+
+    def epoch_of(self, tid: TransactionId) -> int:
+        """The epoch ``tid`` was published in."""
+        try:
+            return self._log[tid].epoch
+        except KeyError:
+            raise UnknownTransactionError(str(tid)) from None
+
+    def decided_transactions(self, participant: int):
+        """Applied transactions (publish order) plus rejected/deferred ids."""
+        record = self._record_of(participant)
+        applied = sorted(record.applied, key=lambda tid: self._log[tid].order)
+        return (
+            [self._log[tid].transaction for tid in applied],
+            sorted(record.rejected),
+            sorted(record.deferred),
+        )
+
+    # ------------------------------------------------------------------
+    # Network-centric accessors (see repro.store.network_centric)
+
+    def _nc_deferred_tids(self, participant: int):
+        record = self._record_of(participant)
+        return sorted(record.deferred, key=lambda tid: self._log[tid].order)
+
+    def _nc_applied_tids(self, participant: int):
+        return set(self._record_of(participant).applied)
+
+    def _nc_lookup(self, tid: TransactionId):
+        try:
+            entry = self._log[tid]
+        except KeyError:
+            raise UnknownTransactionError(str(tid)) from None
+        return entry.transaction, entry.antecedents, entry.order
+
+    def _nc_priority(self, participant: int, transaction: Transaction) -> int:
+        record = self._record_of(participant)
+        return record.policy.priority_of(self._schema, transaction)

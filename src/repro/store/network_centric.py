@@ -1,0 +1,115 @@
+"""Network-centric reconciliation support (Figure 3's other column).
+
+In client-centric reconciliation (the paper's implementation, and our
+default) the reconciling participant computes update extensions and
+detects conflicts itself.  Figure 3 contrasts this with *network-centric*
+reconciliation, which "distributes almost all of the work across the
+network" at the price of more communication; the paper leaves it as
+future work.
+
+:class:`NetworkCentricMixin` implements the store side of that mode for
+stores with direct access to their log (the in-memory and central-sqlite
+stores — the "central store + network-centric" quadrant of Figure 3):
+:meth:`begin_network_reconciliation` returns a batch whose flattened
+update extensions and direct-conflict adjacency are already computed,
+covering both newly relevant transactions and the participant's deferred
+ones (which the store tracks).  The client then only runs ``CheckState``
+(it alone holds the materialised instance, dirty values, and its own
+delta), the cheap greedy ``DoGroup``, and application.
+
+The distributed store keeps client-centric reconciliation only, exactly
+like the paper's implementation; a fully distributed network-centric
+engine remains future work there and here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.extensions import (
+    ReconciliationBatch,
+    RelevantTransaction,
+    compute_update_extension,
+)
+from repro.core.conflicts import find_conflicts
+from repro.errors import FlattenError
+from repro.model.transactions import Transaction, TransactionId
+from repro.store.logic import antecedent_closure
+
+
+class NetworkCentricMixin:
+    """Store-side precomputation of extensions and conflicts.
+
+    Concrete stores provide three accessors over their log:
+
+    * ``_nc_deferred_tids(participant)`` — the participant's deferred
+      transaction ids;
+    * ``_nc_applied_tids(participant)`` — its applied transaction ids;
+    * ``_nc_lookup(tid)`` — ``(transaction, antecedents, order)``.
+    """
+
+    def _nc_deferred_tids(self, participant: int) -> List[TransactionId]:
+        raise NotImplementedError
+
+    def _nc_applied_tids(self, participant: int) -> Set[TransactionId]:
+        raise NotImplementedError
+
+    def _nc_lookup(
+        self, tid: TransactionId
+    ) -> Tuple[Transaction, Tuple[TransactionId, ...], int]:
+        raise NotImplementedError
+
+    def _nc_priority(self, participant: int, transaction: Transaction) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    def begin_network_reconciliation(
+        self, participant: int
+    ) -> ReconciliationBatch:
+        """A batch with store-computed extensions and conflict adjacency."""
+        batch = self.begin_reconciliation(participant)
+        applied = self._nc_applied_tids(participant)
+
+        # Fold the participant's deferred transactions in as roots: in
+        # network-centric mode the store recomputes their standing too.
+        present = {root.tid for root in batch.roots}
+        for tid in self._nc_deferred_tids(participant):
+            if tid in present:
+                continue
+            transaction, _antes, order = self._nc_lookup(tid)
+            priority = self._nc_priority(participant, transaction)
+            batch.roots.append(
+                RelevantTransaction(
+                    transaction=transaction, priority=priority, order=order
+                )
+            )
+            closure = antecedent_closure(
+                lambda t: self._nc_lookup(t)[1], [tid], stop=applied
+            )
+            for member in closure:
+                member_txn, member_antes, member_order = self._nc_lookup(member)
+                batch.graph.add(member_txn, member_antes, member_order)
+        batch.roots.sort(key=lambda root: root.order)
+
+        extensions = {}
+        for root in batch.roots:
+            try:
+                extensions[root.tid] = compute_update_extension(
+                    self.schema, batch.graph, root, applied
+                )
+            except FlattenError:
+                # Leave it out; the client's fallback recomputation will
+                # reach the same FlattenError and reject the root.
+                continue
+        conflicts = find_conflicts(self.schema, batch.graph, extensions)
+        batch.extensions = extensions
+        batch.conflicts = conflicts
+
+        # Communication: shipping the precomputed structures costs
+        # messages proportional to their size (one fragment per flattened
+        # update, plus one per conflict edge).
+        shipped = sum(len(ext.operations) for ext in extensions.values())
+        shipped += sum(len(adj) for adj in conflicts.values()) // 2
+        self.perf.charge(2 + shipped, self.message_latency)
+        return batch

@@ -1,0 +1,32 @@
+"""The evaluation section's synthetic SWISS-PROT workload (Section 6).
+
+"Given that no comprehensive workload already exists for bioinformatics
+data sharing, we developed a synthetic workload generator based on the
+SWISS-PROT bioinformatics database, which contains organisms, proteins,
+and protein functions."
+
+* :mod:`repro.workload.zipf` — the heavy-tailed Zipfian sampler
+  (characteristic ``s = 1.5``) used to pick protein-function values;
+* :mod:`repro.workload.vocabulary` — a deterministic synthetic
+  organism / protein / function vocabulary standing in for SWISS-PROT
+  contents (which we cannot redistribute);
+* :mod:`repro.workload.generator` — per-participant transaction streams:
+  insertions and replacements over the Function relation, plus the
+  secondary cross-reference table averaging 7.3 tuples per new key.
+"""
+
+from repro.workload.generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    curated_schema,
+)
+from repro.workload.vocabulary import Vocabulary
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "Vocabulary",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "ZipfSampler",
+    "curated_schema",
+]

@@ -1,0 +1,86 @@
+"""A deterministic synthetic SWISS-PROT-like vocabulary.
+
+We cannot ship SWISS-PROT itself; what the workload actually needs from it
+is three value domains with realistic cardinalities: organisms, protein
+identifiers, and protein-function terms.  The function terms are generated
+combinatorially from biological-process fragments so the domain is large
+enough for a heavy-tailed popularity distribution to matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+
+_ORGANISMS = (
+    "human", "mouse", "rat", "zebrafish", "fruitfly", "nematode",
+    "yeast", "arabidopsis", "ecoli", "bsubtilis", "chicken", "bovine",
+    "pig", "frog", "rice", "maize",
+)
+
+_PROCESS = (
+    "metabolism", "biosynthesis", "catabolism", "transport", "signaling",
+    "regulation", "repair", "replication", "transcription", "translation",
+    "folding", "degradation", "adhesion", "motility", "secretion",
+    "respiration", "photosynthesis", "homeostasis", "apoptosis", "defense",
+)
+
+_TARGET = (
+    "glucose", "lipid", "amino-acid", "nucleotide", "ion", "protein",
+    "rna", "dna", "atp", "calcium", "iron", "membrane", "cytoskeleton",
+    "chromatin", "ribosome", "vesicle", "cell-wall", "redox", "sterol",
+    "glycogen",
+)
+
+_DATABASES = (
+    "EMBL", "PDB", "PROSITE", "Pfam", "InterPro", "GO", "KEGG", "OMIM",
+)
+
+
+class Vocabulary:
+    """Fixed value domains for the synthetic workload."""
+
+    def __init__(
+        self,
+        organisms: int = 12,
+        proteins_per_organism: int = 400,
+        functions: int = 400,
+    ) -> None:
+        if organisms < 1 or organisms > len(_ORGANISMS):
+            raise WorkloadError(
+                f"organisms must be in 1..{len(_ORGANISMS)}, got {organisms}"
+            )
+        max_functions = len(_PROCESS) * len(_TARGET)
+        if functions < 1 or functions > max_functions:
+            raise WorkloadError(
+                f"functions must be in 1..{max_functions}, got {functions}"
+            )
+        if proteins_per_organism < 1:
+            raise WorkloadError("proteins_per_organism must be positive")
+        self.organisms: Tuple[str, ...] = _ORGANISMS[:organisms]
+        self.proteins_per_organism = proteins_per_organism
+        self.functions: Tuple[str, ...] = tuple(
+            f"{target} {process}"
+            for process in _PROCESS
+            for target in _TARGET
+        )[:functions]
+        self.databases: Tuple[str, ...] = _DATABASES
+
+    def protein(self, index: int) -> str:
+        """The ``index``-th protein identifier (SWISS-PROT-style)."""
+        return f"P{index:05d}"
+
+    def key_count(self) -> int:
+        """Size of the (organism, protein) key pool."""
+        return len(self.organisms) * self.proteins_per_organism
+
+    def key(self, index: int) -> Tuple[str, str]:
+        """The ``index``-th (organism, protein) key of the pool."""
+        if not 0 <= index < self.key_count():
+            raise WorkloadError(
+                f"key index {index} out of range 0..{self.key_count() - 1}"
+            )
+        organism = self.organisms[index % len(self.organisms)]
+        protein = self.protein(index // len(self.organisms))
+        return organism, protein

@@ -1,0 +1,48 @@
+"""A Zipfian sampler over ranked items.
+
+The paper samples protein-function values "according to a heavy-tailed
+Zipfian distribution with characteristic s = 1.5".  Rank ``k`` (1-based)
+has probability proportional to ``k ** -s``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Samples 0-based indices with Zipfian rank probabilities."""
+
+    def __init__(self, n: int, s: float = 1.5, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise WorkloadError(f"Zipf sampler needs n >= 1, got {n}")
+        if s <= 0:
+            raise WorkloadError(f"Zipf characteristic must be positive, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = rng or random.Random()
+        weights = [rank ** -s for rank in range(1, n + 1)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift
+        self._cumulative = cumulative
+
+    def sample(self) -> int:
+        """Draw one 0-based index (0 is the most popular rank)."""
+        point = self._rng.random()
+        return bisect.bisect_left(self._cumulative, point)
+
+    def probability(self, index: int) -> float:
+        """The probability mass of a 0-based index."""
+        if not 0 <= index < self.n:
+            raise WorkloadError(f"index {index} out of range for n={self.n}")
+        lower = self._cumulative[index - 1] if index > 0 else 0.0
+        return self._cumulative[index] - lower

@@ -1,0 +1,76 @@
+"""Unit tests for the benchmark harness (tiny configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            "My title", ["x", "value"], [(1, 2.0), (10, 3.25)]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "My title"
+        assert "x" in lines[1] and "value" in lines[1]
+        assert set(lines[2].replace(" ", "")) == {"-"}
+        assert "3.2500" in lines[4]
+
+    def test_handles_strings_and_ints(self):
+        table = format_table("t", ["a", "b"], [("central", 7)])
+        assert "central" in table
+        assert "7" in table
+
+
+class TestFigureFunctionsSmall:
+    """Each figure function runs on tiny configs and returns sane rows."""
+
+    def test_fig8_rows(self):
+        rows = fig8_rows(
+            sizes=(1, 2), updates_between_recons=2, participants=3, rounds=1
+        )
+        assert [size for size, _r in rows] == [1, 2]
+        for _size, ratio in rows:
+            assert 1.0 <= ratio <= 3.0
+
+    def test_fig9_rows(self):
+        rows = fig9_rows(intervals=(1, 2), participants=3, transactions_per_peer=4)
+        assert [interval for interval, _r in rows] == [1, 2]
+        for _interval, ratio in rows:
+            assert 1.0 <= ratio <= 3.0
+
+    def test_fig10_rows(self):
+        rows = fig10_rows(
+            intervals=(2,),
+            stores=("central", "distributed"),
+            participants=3,
+            transactions_per_peer=4,
+        )
+        assert len(rows) == 2
+        for _interval, store, store_s, local_s, total_s in rows:
+            assert store in ("central", "distributed")
+            assert total_s == pytest.approx(store_s + local_s)
+            assert total_s > 0
+
+    def test_fig11_rows(self):
+        rows = fig11_rows(peer_counts=(2, 3), interval=2, rounds=1)
+        assert [peers for peers, _r in rows] == [2, 3]
+        for peers, ratio in rows:
+            assert 1.0 <= ratio <= peers
+
+    def test_fig12_rows(self):
+        rows = fig12_rows(
+            peer_counts=(3,), stores=("central",), interval=2, rounds=1
+        )
+        [(peers, store, store_s, local_s, total_s)] = rows
+        assert peers == 3 and store == "central"
+        assert total_s == pytest.approx(store_s + local_s)

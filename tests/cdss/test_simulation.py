@@ -1,0 +1,153 @@
+"""Tests for the simulation driver and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdss import Simulation, SimulationConfig
+from repro.instance import MemoryInstance
+from repro.metrics import aggregate_timings, divergence_by_key, state_ratio
+from repro.model import Insert
+from repro.store import MemoryUpdateStore
+from repro.workload import WorkloadConfig, curated_schema
+
+
+class TestStateRatio:
+    def test_empty_system(self):
+        assert state_ratio({}) == 1.0
+
+    def test_all_agree(self, schema):
+        instances = {}
+        for pid in (1, 2, 3):
+            inst = MemoryInstance(schema)
+            inst.apply(Insert("F", ("rat", "p1", "immune"), pid))
+            instances[pid] = inst
+        assert state_ratio(instances) == 1.0
+
+    def test_total_divergence(self, schema):
+        instances = {}
+        for pid in (1, 2, 3):
+            inst = MemoryInstance(schema)
+            inst.apply(Insert("F", ("rat", "p1", f"fn-{pid}"), pid))
+            instances[pid] = inst
+        assert state_ratio(instances) == 3.0
+
+    def test_absence_counts_as_a_state(self, schema):
+        holder = MemoryInstance(schema)
+        holder.apply(Insert("F", ("rat", "p1", "immune"), 1))
+        empty = MemoryInstance(schema)
+        assert state_ratio({1: holder, 2: empty}) == 2.0
+
+    def test_mixed_keys_average(self, schema):
+        a = MemoryInstance(schema)
+        b = MemoryInstance(schema)
+        shared = ("mouse", "p2", "immune")
+        a.apply(Insert("F", shared, 1))
+        b.apply(Insert("F", shared, 2))
+        a.apply(Insert("F", ("rat", "p1", "x"), 1))  # only at a
+        # key1: 1 state; key2: 2 states -> mean 1.5
+        assert state_ratio({1: a, 2: b}) == pytest.approx(1.5)
+
+    def test_relation_filter(self, xref_schema):
+        a = MemoryInstance(xref_schema)
+        b = MemoryInstance(xref_schema)
+        a.apply(Insert("F", ("rat", "p1", "x"), 1))
+        b.apply(Insert("F", ("rat", "p1", "x"), 2))
+        a.apply(Insert("Xref", ("rat", "p1", "GO", "a"), 1))
+        assert state_ratio({1: a, 2: b}, relation="F") == 1.0
+        assert state_ratio({1: a, 2: b}) > 1.0
+
+    def test_divergence_by_key(self, schema):
+        a = MemoryInstance(schema)
+        b = MemoryInstance(schema)
+        a.apply(Insert("F", ("rat", "p1", "x"), 1))
+        b.apply(Insert("F", ("rat", "p1", "y"), 2))
+        counts = divergence_by_key({1: a, 2: b})
+        assert counts[("F", ("rat", "p1"))] == 2
+
+
+class TestSimulation:
+    def test_small_run_produces_sane_report(self):
+        config = SimulationConfig(
+            participants=4, reconciliation_interval=2, rounds=2
+        )
+        report = Simulation(config).run()
+        assert 1.0 <= report.state_ratio <= 4.0
+        assert report.transactions_published == 4 * 2 * 2
+        assert report.store_messages > 0
+        assert set(report.timings) == {1, 2, 3, 4}
+        for agg in report.timings.values():
+            assert agg.reconciliations == 2
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            config = SimulationConfig(
+                participants=4,
+                reconciliation_interval=2,
+                rounds=2,
+                workload=WorkloadConfig(seed=seed),
+            )
+            return Simulation(config).run().state_ratio
+
+        assert run(11) == run(11)
+
+    def test_custom_store(self):
+        store = MemoryUpdateStore(curated_schema())
+        sim = Simulation(
+            SimulationConfig(participants=3, reconciliation_interval=1, rounds=1),
+            store=store,
+        )
+        report = sim.run()
+        assert sim.cdss.store is store
+        assert report.transactions_published == 3
+
+    def test_store_and_factory_mutually_exclusive(self):
+        store = MemoryUpdateStore(curated_schema())
+        with pytest.raises(ValueError):
+            Simulation(
+                SimulationConfig(participants=2),
+                store=store,
+                store_factory=lambda: store,
+            )
+
+    def test_report_means(self):
+        config = SimulationConfig(
+            participants=3, reconciliation_interval=2, rounds=1
+        )
+        report = Simulation(config).run()
+        assert report.mean_total_seconds_per_participant > 0
+        assert report.mean_seconds_per_reconciliation > 0
+        assert report.mean_store_seconds_per_participant >= 0
+        assert (
+            report.mean_total_seconds_per_participant
+            == pytest.approx(
+                report.mean_store_seconds_per_participant
+                + report.mean_local_seconds_per_participant
+            )
+        )
+
+
+class TestTimingAggregation:
+    def test_empty_aggregate(self):
+        agg = aggregate_timings([])
+        assert agg.reconciliations == 0
+        assert agg.mean_total_seconds == 0.0
+        assert agg.mean_store_seconds == 0.0
+        assert agg.mean_local_seconds == 0.0
+
+    def test_aggregation_math(self):
+        from repro.cdss.participant import ReconcileTiming
+
+        timings = [
+            ReconcileTiming(1, store_seconds=1.0, local_seconds=0.5, store_messages=10),
+            ReconcileTiming(2, store_seconds=3.0, local_seconds=1.5, store_messages=30),
+        ]
+        agg = aggregate_timings(timings)
+        assert agg.reconciliations == 2
+        assert agg.total_store_seconds == 4.0
+        assert agg.total_local_seconds == 2.0
+        assert agg.total_messages == 40
+        assert agg.total_seconds == 6.0
+        assert agg.mean_store_seconds == 2.0
+        assert agg.mean_local_seconds == 1.0
+        assert agg.mean_total_seconds == 3.0

@@ -1,0 +1,201 @@
+"""Direct unit tests for conflict detection, groups, and options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RelevantTransaction, classify_conflict
+from repro.core.conflicts import (
+    build_conflict_groups,
+    direct_conflict_points,
+    directly_conflict,
+    find_conflicts,
+)
+from repro.core.extensions import compute_update_extension
+from repro.model import Delete, Insert, Modify, make_transaction
+
+from tests.core.helpers import GraphBuilder
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+RAT1_IMMUNE = ("rat", "prot1", "immune")
+RAT1_RESP = ("rat", "prot1", "cell-resp")
+MOUSE2 = ("mouse", "prot2", "immune")
+
+
+def extension_of(schema, builder, txn, priority=1, applied=frozenset()):
+    root = RelevantTransaction(
+        txn, priority=priority, order=builder.graph.order_of(txn.tid)
+    )
+    return compute_update_extension(
+        schema, builder.graph, root, set(applied)
+    )
+
+
+class TestClassifyConflict:
+    def test_insert_insert(self):
+        left = Insert("F", RAT1, 1)
+        right = Insert("F", RAT1_IMMUNE, 2)
+        assert classify_conflict(left, right) == "insert/insert"
+
+    def test_delete_vs_replace_sorted(self):
+        deletion = Delete("F", RAT1, 1)
+        replacement = Modify("F", RAT1, RAT1_IMMUNE, 2)
+        assert classify_conflict(deletion, replacement) == "delete/replace"
+        assert classify_conflict(replacement, deletion) == "delete/replace"
+
+    def test_replace_replace(self):
+        left = Modify("F", RAT1, RAT1_IMMUNE, 1)
+        right = Modify("F", RAT1, RAT1_RESP, 2)
+        assert classify_conflict(left, right) == "replace/replace"
+
+
+class TestDirectConflicts:
+    def test_disjoint_extensions_compared_flat(self, schema):
+        builder = GraphBuilder()
+        a = make_transaction(1, 0, [Insert("F", RAT1_IMMUNE, 1)])
+        b = make_transaction(2, 0, [Insert("F", RAT1_RESP, 2)])
+        builder.add(a)
+        builder.add(b)
+        ext_a = extension_of(schema, builder, a)
+        ext_b = extension_of(schema, builder, b)
+        assert directly_conflict(schema, builder.graph, ext_a, ext_b)
+        points = direct_conflict_points(schema, builder.graph, ext_a, ext_b)
+        assert points == [("insert/insert", ("F", ("rat", "prot1")))]
+
+    def test_shared_members_excluded(self, schema):
+        # Both extensions share the base insert; their *differences*
+        # (two replacements of the same row) are what conflict.
+        builder = GraphBuilder()
+        base = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        builder.add(base)
+        left = make_transaction(2, 0, [Modify("F", RAT1, RAT1_IMMUNE, 2)])
+        right = make_transaction(3, 0, [Modify("F", RAT1, RAT1_RESP, 3)])
+        builder.add(left, antecedents=[base.tid])
+        builder.add(right, antecedents=[base.tid])
+        ext_left = extension_of(schema, builder, left)
+        ext_right = extension_of(schema, builder, right)
+        points = direct_conflict_points(
+            schema, builder.graph, ext_left, ext_right
+        )
+        assert points == [("replace/replace", ("F", ("rat", "prot1")))]
+
+    def test_identical_extensions_do_not_conflict(self, schema):
+        builder = GraphBuilder()
+        base = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        builder.add(base)
+        ext = extension_of(schema, builder, base)
+        assert not directly_conflict(schema, builder.graph, ext, ext)
+
+    def test_least_interaction_through_shared_chain(self, schema):
+        # left revises the shared base's row; right extends left's result:
+        # the shared prefix must not self-conflict.
+        builder = GraphBuilder()
+        base = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        revise = make_transaction(2, 0, [Modify("F", RAT1, RAT1_IMMUNE, 2)])
+        extend = make_transaction(
+            3, 0, [Modify("F", RAT1_IMMUNE, RAT1_RESP, 3)]
+        )
+        builder.add(base)
+        builder.add(revise, antecedents=[base.tid])
+        builder.add(extend, antecedents=[revise.tid])
+        ext_revise = extension_of(schema, builder, revise)
+        ext_extend = extension_of(schema, builder, extend)
+        # extend subsumes revise entirely; nothing unshared conflicts.
+        assert ext_extend.subsumes(ext_revise)
+        assert not directly_conflict(
+            schema, builder.graph, ext_revise, ext_extend
+        )
+
+
+class TestFindConflicts:
+    def test_adjacency_is_symmetric(self, schema):
+        builder = GraphBuilder()
+        a = make_transaction(1, 0, [Insert("F", RAT1_IMMUNE, 1)])
+        b = make_transaction(2, 0, [Insert("F", RAT1_RESP, 2)])
+        c = make_transaction(3, 0, [Insert("F", MOUSE2, 3)])
+        for txn in (a, b, c):
+            builder.add(txn)
+        extensions = {
+            txn.tid: extension_of(schema, builder, txn) for txn in (a, b, c)
+        }
+        conflicts = find_conflicts(schema, builder.graph, extensions)
+        assert conflicts[a.tid] == {b.tid}
+        assert conflicts[b.tid] == {a.tid}
+        assert conflicts[c.tid] == set()
+
+    def test_subsumed_pairs_skipped(self, schema):
+        builder = GraphBuilder()
+        base = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        revision = make_transaction(1, 1, [Modify("F", RAT1, RAT1_IMMUNE, 1)])
+        builder.add(base)
+        builder.add(revision, antecedents=[base.tid])
+        extensions = {
+            base.tid: extension_of(schema, builder, base),
+            revision.tid: extension_of(schema, builder, revision),
+        }
+        conflicts = find_conflicts(schema, builder.graph, extensions)
+        assert conflicts[base.tid] == set()
+        assert conflicts[revision.tid] == set()
+
+
+class TestConflictGroups:
+    def test_same_effect_transactions_share_an_option(self, schema):
+        builder = GraphBuilder()
+        a = make_transaction(1, 0, [Insert("F", RAT1_IMMUNE, 1)])
+        b = make_transaction(2, 0, [Insert("F", RAT1_IMMUNE, 2)])  # agrees with a
+        c = make_transaction(3, 0, [Insert("F", RAT1_RESP, 3)])
+        for txn in (a, b, c):
+            builder.add(txn)
+        deferred = {
+            txn.tid: extension_of(schema, builder, txn) for txn in (a, b, c)
+        }
+        groups = build_conflict_groups(schema, builder.graph, deferred)
+        assert len(groups) == 1
+        [group] = groups.values()
+        assert group.key == ("F", ("rat", "prot1"))
+        effects = {opt.effect: set(opt.transactions) for opt in group.options}
+        assert effects[RAT1_IMMUNE] == {a.tid, b.tid}
+        assert effects[RAT1_RESP] == {c.tid}
+
+    def test_group_describe_lists_options(self, schema):
+        builder = GraphBuilder()
+        a = make_transaction(1, 0, [Insert("F", RAT1_IMMUNE, 1)])
+        b = make_transaction(2, 0, [Insert("F", RAT1_RESP, 2)])
+        builder.add(a)
+        builder.add(b)
+        deferred = {
+            txn.tid: extension_of(schema, builder, txn) for txn in (a, b)
+        }
+        groups = build_conflict_groups(schema, builder.graph, deferred)
+        [group] = groups.values()
+        text = group.describe()
+        assert "[0]" in text and "[1]" in text
+        assert "X1:0" in text and "X2:0" in text
+        assert group.group_id == (group.kind, group.key)
+        assert set(group.transactions()) == {a.tid, b.tid}
+
+    def test_delete_option_effect_is_none(self, schema):
+        builder = GraphBuilder()
+        base = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        builder.add(base)
+        deleter = make_transaction(2, 0, [Delete("F", RAT1, 2)])
+        replacer = make_transaction(3, 0, [Modify("F", RAT1, RAT1_RESP, 3)])
+        builder.add(deleter, antecedents=[base.tid])
+        builder.add(replacer, antecedents=[base.tid])
+        applied = {base.tid}
+        deferred = {
+            deleter.tid: extension_of(schema, builder, deleter, applied=applied),
+            replacer.tid: extension_of(
+                schema, builder, replacer, applied=applied
+            ),
+        }
+        groups = build_conflict_groups(schema, builder.graph, deferred)
+        [group] = groups.values()
+        effects = {opt.effect for opt in group.options}
+        assert None in effects  # the deletion option
+        assert RAT1_RESP in effects
+        delete_option = next(
+            opt for opt in group.options if opt.effect is None
+        )
+        assert "delete" in delete_option.describe()

@@ -1,0 +1,126 @@
+"""Unit tests for transaction graphs and update extensions (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RelevantTransaction, TransactionGraph
+from repro.core.extensions import compute_update_extension, update_footprint
+from repro.errors import ReconciliationError
+from repro.model import Insert, Modify, TransactionId, make_transaction
+
+from tests.core.helpers import GraphBuilder
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+RAT1_IMMUNE = ("rat", "prot1", "immune")
+RAT1_RESP = ("rat", "prot1", "cell-resp")
+
+
+@pytest.fixture
+def chain_graph(schema):
+    """X3:0 inserts, X3:1 modifies it, X2:0 modifies that again."""
+    builder = GraphBuilder()
+    x30 = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+    x31 = make_transaction(3, 1, [Modify("F", RAT1, RAT1_IMMUNE, 3)])
+    x20 = make_transaction(2, 0, [Modify("F", RAT1_IMMUNE, RAT1_RESP, 2)])
+    builder.add(x30)
+    builder.add(x31, antecedents=[x30.tid])
+    builder.add(x20, antecedents=[x31.tid])
+    return builder, x30, x31, x20
+
+
+class TestTransactionGraph:
+    def test_lookup_and_order(self, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        graph = builder.graph
+        assert graph.transaction(x30.tid) is x30
+        assert graph.order_of(x30.tid) < graph.order_of(x31.tid)
+        assert x30.tid in graph
+        assert len(graph) == 3
+
+    def test_unknown_transaction_raises(self):
+        graph = TransactionGraph()
+        with pytest.raises(ReconciliationError):
+            graph.transaction(TransactionId(1, 0))
+        with pytest.raises(ReconciliationError):
+            graph.order_of(TransactionId(1, 0))
+
+    def test_extension_transitive_closure(self, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        members = builder.graph.extension(x20.tid, applied=set())
+        assert members == [x30.tid, x31.tid, x20.tid]
+
+    def test_extension_skips_applied(self, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        members = builder.graph.extension(x20.tid, applied={x30.tid, x31.tid})
+        assert members == [x20.tid]
+
+    def test_extension_partial_applied(self, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        # x30 applied but x31 not: closure keeps x31 only.
+        members = builder.graph.extension(x20.tid, applied={x30.tid})
+        assert members == [x31.tid, x20.tid]
+
+    def test_merge(self, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        other = TransactionGraph()
+        other.merge(builder.graph)
+        assert len(other) == 3
+        assert other.antecedents_of(x31.tid) == (x30.tid,)
+
+
+class TestUpdateExtension:
+    def test_flattened_operations(self, schema, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        root = RelevantTransaction(x20, priority=1, order=2)
+        extension = compute_update_extension(
+            schema, builder.graph, root, applied=set()
+        )
+        assert extension.operations == (Insert("F", RAT1_RESP, 2),)
+        assert extension.members == (x30.tid, x31.tid, x20.tid)
+        assert extension.priority == 1
+
+    def test_extension_relative_to_applied(self, schema, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        root = RelevantTransaction(x20, priority=1, order=2)
+        extension = compute_update_extension(
+            schema, builder.graph, root, applied={x30.tid, x31.tid}
+        )
+        assert extension.operations == (Modify("F", RAT1_IMMUNE, RAT1_RESP, 2),)
+
+    def test_touched_keys_cover_whole_footprint(self, schema, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        root = RelevantTransaction(x20, priority=1, order=2)
+        extension = compute_update_extension(
+            schema, builder.graph, root, applied=set()
+        )
+        assert ("F", ("rat", "prot1")) in extension.touched
+
+    def test_subsumption(self, schema, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        big = compute_update_extension(
+            schema,
+            builder.graph,
+            RelevantTransaction(x20, priority=1, order=2),
+            applied=set(),
+        )
+        small = compute_update_extension(
+            schema,
+            builder.graph,
+            RelevantTransaction(x31, priority=1, order=1),
+            applied=set(),
+        )
+        assert big.subsumes(small)
+        assert not small.subsumes(big)
+
+    def test_update_footprint_order(self, schema, chain_graph):
+        builder, x30, x31, x20 = chain_graph
+        footprint = update_footprint(
+            builder.graph, [x30.tid, x31.tid, x20.tid]
+        )
+        assert footprint == [
+            Insert("F", RAT1, 3),
+            Modify("F", RAT1, RAT1_IMMUNE, 3),
+            Modify("F", RAT1_IMMUNE, RAT1_RESP, 2),
+        ]

@@ -1,0 +1,31 @@
+"""Every example script must run cleanly — they are living documentation."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should narrate what they do"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3

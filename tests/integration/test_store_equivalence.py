@@ -1,0 +1,55 @@
+"""Observational equivalence of the three update stores.
+
+The same seeded workload, replayed through the memory, central-sqlite,
+and simulated-DHT stores, must leave every participant with an identical
+instance and identical decision bookkeeping — the stores may only differ
+in cost, never in outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdss import Simulation, SimulationConfig
+from repro.store import CentralUpdateStore, DhtUpdateStore, MemoryUpdateStore
+from repro.workload import WorkloadConfig, curated_schema
+
+
+def run_with(store_name: str, seed: int):
+    schema = curated_schema()
+    if store_name == "memory":
+        store = MemoryUpdateStore(schema)
+    elif store_name == "central":
+        store = CentralUpdateStore(schema)
+    else:
+        store = DhtUpdateStore(schema, hosts=5)
+    config = SimulationConfig(
+        participants=5,
+        reconciliation_interval=3,
+        rounds=3,
+        workload=WorkloadConfig(transaction_size=2, seed=seed),
+    )
+    simulation = Simulation(config, store=store)
+    report = simulation.run()
+    snapshots = {
+        p.id: p.instance.snapshot() for p in simulation.cdss.participants
+    }
+    decisions = {
+        p.id: (
+            sorted(map(str, p.state.applied)),
+            sorted(map(str, p.state.rejected)),
+            sorted(map(str, p.state.deferred)),
+        )
+        for p in simulation.cdss.participants
+    }
+    return snapshots, decisions, report.state_ratio
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_stores_produce_identical_outcomes(seed):
+    memory = run_with("memory", seed)
+    central = run_with("central", seed)
+    dht = run_with("dht", seed)
+    assert memory[0] == central[0] == dht[0]  # instances
+    assert memory[1] == central[1] == dht[1]  # decisions
+    assert memory[2] == central[2] == dht[2]  # state ratio

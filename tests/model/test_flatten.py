@@ -1,0 +1,180 @@
+"""Unit tests for update-sequence flattening (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FlattenError
+from repro.model import Delete, Insert, Modify, flatten, make_transaction
+from repro.model.flatten import flatten_transactions, keys_read, keys_touched
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+RAT1_IMMUNE = ("rat", "prot1", "immune")
+RAT1_RESP = ("rat", "prot1", "cell-resp")
+MOUSE2 = ("mouse", "prot2", "cell-resp")
+MOUSE3 = ("mouse", "prot3", "cell-resp")
+
+
+class TestFlattenBasics:
+    def test_empty_sequence(self, schema):
+        assert flatten(schema, []) == []
+
+    def test_single_insert_passthrough(self, schema):
+        assert flatten(schema, [Insert("F", RAT1, 3)]) == [Insert("F", RAT1, 3)]
+
+    def test_single_delete_passthrough(self, schema):
+        assert flatten(schema, [Delete("F", RAT1, 3)]) == [Delete("F", RAT1, 3)]
+
+    def test_single_modify_passthrough(self, schema):
+        mod = Modify("F", RAT1, RAT1_IMMUNE, 3)
+        assert flatten(schema, [mod]) == [mod]
+
+    def test_insert_then_modify_becomes_insert(self, schema):
+        # The paper's X3:0 followed by X3:1 (Figure 2, epoch 1).
+        result = flatten(
+            schema,
+            [Insert("F", RAT1, 3), Modify("F", RAT1, RAT1_IMMUNE, 3)],
+        )
+        assert result == [Insert("F", RAT1_IMMUNE, 3)]
+
+    def test_papers_key_changing_example(self, schema):
+        # X3:2 then X3:3 from Section 4.2: +F(mouse, prot2, cell-resp) then
+        # (mouse, prot2, cell-resp) -> (mouse, prot3, cell-resp) flattens
+        # to the single insert of the final row.
+        result = flatten(
+            schema,
+            [Insert("F", MOUSE2, 3), Modify("F", MOUSE2, MOUSE3, 3)],
+        )
+        assert result == [Insert("F", MOUSE3, 3)]
+
+    def test_insert_then_delete_cancels(self, schema):
+        result = flatten(schema, [Insert("F", RAT1, 3), Delete("F", RAT1, 3)])
+        assert result == []
+
+    def test_modify_chain_composes(self, schema):
+        result = flatten(
+            schema,
+            [
+                Modify("F", RAT1, RAT1_IMMUNE, 3),
+                Modify("F", RAT1_IMMUNE, RAT1_RESP, 3),
+            ],
+        )
+        assert result == [Modify("F", RAT1, RAT1_RESP, 3)]
+
+    def test_modify_then_revert_cancels(self, schema):
+        # Least interaction: a revised-away modification leaves no net
+        # effect, so it cannot conflict with anyone.
+        result = flatten(
+            schema,
+            [
+                Modify("F", RAT1, RAT1_IMMUNE, 3),
+                Modify("F", RAT1_IMMUNE, RAT1, 3),
+            ],
+        )
+        assert result == []
+
+    def test_modify_then_delete_becomes_delete_of_original(self, schema):
+        result = flatten(
+            schema,
+            [Modify("F", RAT1, RAT1_IMMUNE, 3), Delete("F", RAT1_IMMUNE, 3)],
+        )
+        assert result == [Delete("F", RAT1, 3)]
+
+    def test_delete_then_insert_merges_to_modify(self, schema):
+        result = flatten(
+            schema,
+            [Delete("F", RAT1, 3), Insert("F", RAT1_IMMUNE, 3)],
+        )
+        assert result == [Modify("F", RAT1, RAT1_IMMUNE, 3)]
+
+    def test_delete_then_reinsert_same_row_cancels(self, schema):
+        result = flatten(schema, [Delete("F", RAT1, 3), Insert("F", RAT1, 3)])
+        assert result == []
+
+    def test_independent_updates_pass_through(self, schema):
+        ins1 = Insert("F", RAT1, 3)
+        ins2 = Insert("F", MOUSE2, 3)
+        result = flatten(schema, [ins1, ins2])
+        assert sorted(map(str, result)) == sorted(map(str, [ins1, ins2]))
+
+    def test_key_changing_modify_then_back(self, schema):
+        result = flatten(
+            schema,
+            [Modify("F", RAT1, MOUSE2, 3), Modify("F", MOUSE2, RAT1, 3)],
+        )
+        assert result == []
+
+    def test_key_changing_chain_composes(self, schema):
+        result = flatten(
+            schema,
+            [Modify("F", RAT1, MOUSE2, 3), Modify("F", MOUSE2, MOUSE3, 3)],
+        )
+        assert result == [Modify("F", RAT1, MOUSE3, 3)]
+
+    def test_at_most_one_update_per_key(self, schema):
+        sequence = [
+            Insert("F", RAT1, 3),
+            Modify("F", RAT1, RAT1_IMMUNE, 3),
+            Delete("F", RAT1_IMMUNE, 3),
+            Insert("F", RAT1_RESP, 3),
+        ]
+        result = flatten(schema, sequence)
+        assert result == [Insert("F", RAT1_RESP, 3)]
+
+
+class TestFlattenValidation:
+    def test_delete_of_wrong_row_in_chain_rejected(self, schema):
+        with pytest.raises(FlattenError):
+            flatten(schema, [Insert("F", RAT1, 3), Delete("F", RAT1_IMMUNE, 3)])
+
+    def test_double_insert_same_key_rejected(self, schema):
+        with pytest.raises(FlattenError):
+            flatten(schema, [Insert("F", RAT1, 3), Insert("F", RAT1_IMMUNE, 3)])
+
+    def test_modify_source_mismatch_rejected(self, schema):
+        with pytest.raises(FlattenError):
+            flatten(
+                schema,
+                [Insert("F", RAT1, 3), Modify("F", RAT1_IMMUNE, RAT1_RESP, 3)],
+            )
+
+
+class TestFlattenTransactions:
+    def test_across_transaction_boundaries(self, schema):
+        txn0 = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        txn1 = make_transaction(3, 1, [Modify("F", RAT1, RAT1_IMMUNE, 3)])
+        assert flatten_transactions(schema, [txn0, txn1]) == [
+            Insert("F", RAT1_IMMUNE, 3)
+        ]
+
+
+class TestReadTracking:
+    def test_keys_read_reports_consumed_state(self, schema):
+        reads = keys_read(schema, [Modify("F", RAT1, RAT1_IMMUNE, 3)])
+        assert reads == {("F", ("rat", "prot1"))}
+
+    def test_keys_read_survives_cancellation(self, schema):
+        # A chain that restores the original row still read it.
+        reads = keys_read(
+            schema,
+            [
+                Modify("F", RAT1, RAT1_IMMUNE, 3),
+                Modify("F", RAT1_IMMUNE, RAT1, 3),
+            ],
+        )
+        assert reads == {("F", ("rat", "prot1"))}
+
+    def test_pure_insert_reads_nothing(self, schema):
+        assert keys_read(schema, [Insert("F", RAT1, 3)]) == set()
+
+    def test_keys_touched_includes_intermediate_keys(self, schema):
+        touched = keys_touched(
+            schema,
+            [Modify("F", RAT1, MOUSE2, 3), Modify("F", MOUSE2, MOUSE3, 3)],
+        )
+        assert touched == {
+            ("F", ("rat", "prot1")),
+            ("F", ("mouse", "prot2")),
+            ("F", ("mouse", "prot3")),
+        }

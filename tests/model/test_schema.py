@@ -1,0 +1,141 @@
+"""Unit tests for relation schemas, keys, and foreign keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model import AttributeDef, ForeignKey, RelationSchema, Schema
+
+
+class TestRelationSchema:
+    def test_attribute_names_and_arity(self, function_relation):
+        assert function_relation.attribute_names == (
+            "organism",
+            "protein",
+            "function",
+        )
+        assert function_relation.arity == 3
+
+    def test_key_projection(self, function_relation):
+        row = ("rat", "prot1", "immune")
+        assert function_relation.key_of(row) == ("rat", "prot1")
+
+    def test_value_of(self, function_relation):
+        row = ("rat", "prot1", "immune")
+        assert function_relation.value_of(row, "function") == "immune"
+
+    def test_position_of_unknown_attribute_raises(self, function_relation):
+        with pytest.raises(SchemaError):
+            function_relation.position_of("nonexistent")
+
+    def test_string_attributes_are_promoted(self):
+        rel = RelationSchema("R", ["a", "b"], key=("a",))
+        assert rel.attributes[0] == AttributeDef("a")
+
+    def test_wrong_arity_rejected(self, function_relation):
+        with pytest.raises(SchemaError):
+            function_relation.validate_row(("rat", "prot1"))
+
+    def test_non_tuple_row_rejected(self, function_relation):
+        with pytest.raises(SchemaError):
+            function_relation.validate_row(["rat", "prot1", "immune"])
+
+    def test_typed_attribute_enforced(self):
+        rel = RelationSchema(
+            "R", [AttributeDef("a", str), AttributeDef("n", int)], key=("a",)
+        )
+        rel.validate_row(("x", 1))
+        with pytest.raises(SchemaError):
+            rel.validate_row(("x", "not-an-int"))
+
+    def test_untyped_attribute_accepts_anything(self):
+        rel = RelationSchema("R", [AttributeDef("a")], key=("a",))
+        rel.validate_row((object(),))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"], key=("a",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [], key=("a",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"], key=("a",))
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], key=())
+
+    def test_key_over_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], key=("zzz",))
+
+    def test_equality_and_hash(self):
+        rel1 = RelationSchema("R", ["a", "b"], key=("a",))
+        rel2 = RelationSchema("R", ["a", "b"], key=("a",))
+        rel3 = RelationSchema("R", ["a", "b"], key=("b",))
+        assert rel1 == rel2
+        assert hash(rel1) == hash(rel2)
+        assert rel1 != rel3
+
+
+class TestSchema:
+    def test_lookup(self, schema, function_relation):
+        assert schema.relation("F") == function_relation
+        assert "F" in schema
+        assert "G" not in schema
+
+    def test_unknown_relation_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.relation("G")
+
+    def test_duplicate_relations_rejected(self, function_relation):
+        with pytest.raises(SchemaError):
+            Schema([function_relation, function_relation])
+
+    def test_iteration(self, xref_schema):
+        assert sorted(rel.name for rel in xref_schema) == ["F", "Xref"]
+
+    def test_relation_names(self, xref_schema):
+        assert set(xref_schema.relation_names) == {"F", "Xref"}
+
+
+class TestForeignKeys:
+    def test_valid_foreign_key(self, xref_schema):
+        fks = xref_schema.foreign_keys_from("Xref")
+        assert len(fks) == 1
+        assert fks[0].target_relation == "F"
+        assert xref_schema.foreign_keys_into("F") == fks
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("A", ("x", "y"), "B", ("z",))
+
+    def test_empty_foreign_key_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("A", (), "B", ())
+
+    def test_unknown_source_relation_rejected(self, function_relation):
+        fk = ForeignKey("Nope", ("a", "b"), "F", ("organism", "protein"))
+        with pytest.raises(SchemaError):
+            Schema([function_relation], foreign_keys=[fk])
+
+    def test_unknown_target_relation_rejected(self, function_relation):
+        fk = ForeignKey("F", ("organism",), "Nope", ("x",))
+        with pytest.raises(SchemaError):
+            Schema([function_relation], foreign_keys=[fk])
+
+    def test_fk_must_target_full_key(self, function_relation):
+        other = RelationSchema("G", ["organism", "x"], key=("organism",))
+        fk = ForeignKey("G", ("organism",), "F", ("organism",))
+        with pytest.raises(SchemaError):
+            Schema([function_relation, other], foreign_keys=[fk])
+
+    def test_fk_over_unknown_attribute_rejected(self, function_relation):
+        other = RelationSchema("G", ["organism"], key=("organism",))
+        fk = ForeignKey("G", ("nope", "alsonope"), "F", ("organism", "protein"))
+        with pytest.raises(SchemaError):
+            Schema([function_relation, other], foreign_keys=[fk])

@@ -1,0 +1,72 @@
+"""Unit tests for transaction ids and transaction construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.model import (
+    Delete,
+    Insert,
+    Modify,
+    Transaction,
+    TransactionId,
+    make_transaction,
+)
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+RAT1_IMMUNE = ("rat", "prot1", "immune")
+MOUSE2 = ("mouse", "prot2", "immune")
+
+
+class TestTransactionId:
+    def test_ordering_by_participant_then_sequence(self):
+        assert TransactionId(1, 5) < TransactionId(2, 0)
+        assert TransactionId(1, 0) < TransactionId(1, 1)
+
+    def test_str_matches_paper_notation(self):
+        assert str(TransactionId(3, 1)) == "X3:1"
+
+    def test_hashable(self):
+        ids = {TransactionId(1, 0), TransactionId(1, 0), TransactionId(1, 1)}
+        assert len(ids) == 2
+
+
+class TestTransaction:
+    def test_construction_and_iteration(self):
+        txn = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert txn.origin == 3
+        assert len(txn) == 1
+        assert list(txn) == [Insert("F", RAT1, 3)]
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(UpdateError):
+            Transaction(TransactionId(3, 0), ())
+
+    def test_origin_mismatch_rejected(self):
+        with pytest.raises(UpdateError):
+            make_transaction(3, 0, [Insert("F", RAT1, 2)])
+
+    def test_keys_touched_deduplicates(self, schema):
+        txn = make_transaction(
+            3,
+            0,
+            [Insert("F", RAT1, 3), Modify("F", RAT1, RAT1_IMMUNE, 3)],
+        )
+        assert txn.keys_touched(schema) == (("F", ("rat", "prot1")),)
+
+    def test_keys_touched_covers_all_updates(self, schema):
+        txn = make_transaction(
+            3,
+            0,
+            [Insert("F", RAT1, 3), Insert("F", MOUSE2, 3)],
+        )
+        assert set(txn.keys_touched(schema)) == {
+            ("F", ("rat", "prot1")),
+            ("F", ("mouse", "prot2")),
+        }
+
+    def test_str_form(self):
+        txn = make_transaction(3, 1, [Delete("F", RAT1, 3)])
+        assert str(txn).startswith("X3:1{")

@@ -1,0 +1,154 @@
+"""Unit tests for update operations and the paper's conflict predicate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.model import Delete, Insert, Modify, updates_conflict
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+RAT1_IMMUNE = ("rat", "prot1", "immune")
+RAT1_RESP = ("rat", "prot1", "cell-resp")
+MOUSE2 = ("mouse", "prot2", "immune")
+
+
+class TestUpdateBasics:
+    def test_insert_written_and_read(self, schema):
+        ins = Insert("F", RAT1, 3)
+        assert ins.written_row() == RAT1
+        assert ins.read_row() is None
+        assert ins.keys_touched(schema) == (("F", ("rat", "prot1")),)
+
+    def test_delete_written_and_read(self, schema):
+        dele = Delete("F", RAT1, 3)
+        assert dele.written_row() is None
+        assert dele.read_row() == RAT1
+        assert dele.keys_touched(schema) == (("F", ("rat", "prot1")),)
+
+    def test_modify_written_and_read(self, schema):
+        mod = Modify("F", RAT1, RAT1_IMMUNE, 3)
+        assert mod.written_row() == RAT1_IMMUNE
+        assert mod.read_row() == RAT1
+        assert mod.keys_touched(schema) == (("F", ("rat", "prot1")),)
+
+    def test_key_changing_modify_touches_both_keys(self, schema):
+        mod = Modify("F", RAT1, MOUSE2, 3)
+        assert set(mod.keys_touched(schema)) == {
+            ("F", ("rat", "prot1")),
+            ("F", ("mouse", "prot2")),
+        }
+
+    def test_identity_modify_rejected(self):
+        with pytest.raises(UpdateError):
+            Modify("F", RAT1, RAT1, 3)
+
+    def test_str_forms(self):
+        assert str(Insert("F", RAT1, 3)) == "+F(rat, prot1, cell-metab; 3)"
+        assert str(Delete("F", RAT1, 3)) == "-F(rat, prot1, cell-metab; 3)"
+        assert "->" in str(Modify("F", RAT1, RAT1_IMMUNE, 3))
+
+    def test_updates_are_hashable_and_frozen(self):
+        ins = Insert("F", RAT1, 3)
+        assert hash(ins) == hash(Insert("F", RAT1, 3))
+        with pytest.raises(Exception):
+            ins.origin = 4  # type: ignore[misc]
+
+
+class TestConflictPredicate:
+    """The three cases of Section 4, plus the documented generalisation."""
+
+    def test_insert_insert_same_key_different_value(self, schema):
+        left = Insert("F", RAT1_IMMUNE, 3)
+        right = Insert("F", RAT1_RESP, 2)
+        assert updates_conflict(schema, left, right)
+        assert updates_conflict(schema, right, left)
+
+    def test_insert_insert_identical_rows_do_not_conflict(self, schema):
+        left = Insert("F", RAT1, 3)
+        right = Insert("F", RAT1, 2)
+        assert not updates_conflict(schema, left, right)
+
+    def test_insert_insert_different_keys_do_not_conflict(self, schema):
+        left = Insert("F", RAT1, 3)
+        right = Insert("F", MOUSE2, 2)
+        assert not updates_conflict(schema, left, right)
+
+    def test_delete_vs_insert_same_key(self, schema):
+        deletion = Delete("F", RAT1, 3)
+        insertion = Insert("F", RAT1_IMMUNE, 2)
+        assert updates_conflict(schema, deletion, insertion)
+        assert updates_conflict(schema, insertion, deletion)
+
+    def test_delete_vs_modify_same_source_key(self, schema):
+        deletion = Delete("F", RAT1, 3)
+        mod = Modify("F", RAT1, RAT1_IMMUNE, 2)
+        assert updates_conflict(schema, deletion, mod)
+        assert updates_conflict(schema, mod, deletion)
+
+    def test_delete_vs_modify_other_key_no_conflict(self, schema):
+        deletion = Delete("F", MOUSE2, 3)
+        mod = Modify("F", RAT1, RAT1_IMMUNE, 2)
+        assert not updates_conflict(schema, deletion, mod)
+
+    def test_modify_modify_same_source_different_targets(self, schema):
+        left = Modify("F", RAT1, RAT1_IMMUNE, 3)
+        right = Modify("F", RAT1, RAT1_RESP, 2)
+        assert updates_conflict(schema, left, right)
+        assert updates_conflict(schema, right, left)
+
+    def test_modify_modify_same_source_same_target_no_conflict(self, schema):
+        left = Modify("F", RAT1, RAT1_IMMUNE, 3)
+        right = Modify("F", RAT1, RAT1_IMMUNE, 2)
+        assert not updates_conflict(schema, left, right)
+
+    def test_identical_updates_do_not_conflict(self, schema):
+        upd = Modify("F", RAT1, RAT1_IMMUNE, 3)
+        assert not updates_conflict(schema, upd, upd)
+
+    def test_different_relations_never_conflict(self, xref_schema):
+        ins_f = Insert("F", RAT1, 3)
+        ins_x = Insert("Xref", ("rat", "prot1", "db", "acc"), 2)
+        assert not updates_conflict(xref_schema, ins_f, ins_x)
+
+    def test_delete_delete_same_row_no_conflict(self, schema):
+        left = Delete("F", RAT1, 3)
+        right = Delete("F", RAT1, 2)
+        assert not updates_conflict(schema, left, right)
+
+    def test_delete_delete_same_key_different_rows_conflict(self, schema):
+        left = Delete("F", RAT1, 3)
+        right = Delete("F", RAT1_IMMUNE, 2)
+        assert updates_conflict(schema, left, right)
+
+    def test_write_write_collision_insert_vs_modify_target(self, schema):
+        # A replacement moving a row *onto* a key conflicts with an insert
+        # of a different row under that key (generalised case).
+        insertion = Insert("F", RAT1_IMMUNE, 2)
+        mod = Modify("F", MOUSE2, RAT1_RESP, 3)
+        assert updates_conflict(schema, insertion, mod)
+        assert updates_conflict(schema, mod, insertion)
+
+    def test_write_write_same_row_via_different_ops_no_conflict(self, schema):
+        insertion = Insert("F", RAT1_IMMUNE, 2)
+        mod = Modify("F", MOUSE2, RAT1_IMMUNE, 3)
+        assert not updates_conflict(schema, insertion, mod)
+
+    def test_symmetry_exhaustive(self, schema):
+        updates = [
+            Insert("F", RAT1, 1),
+            Insert("F", RAT1_IMMUNE, 2),
+            Delete("F", RAT1, 3),
+            Delete("F", RAT1_RESP, 1),
+            Modify("F", RAT1, RAT1_IMMUNE, 2),
+            Modify("F", RAT1, RAT1_RESP, 3),
+            Modify("F", MOUSE2, RAT1_RESP, 1),
+            Insert("F", MOUSE2, 2),
+            Delete("F", MOUSE2, 3),
+        ]
+        for left in updates:
+            for right in updates:
+                assert updates_conflict(schema, left, right) == updates_conflict(
+                    schema, right, left
+                )

@@ -1,0 +1,134 @@
+"""Tests for the simulated network and the consistent-hashing ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import HashRing, Message, Network, Node
+
+
+class EchoNode(Node):
+    """Replies to every 'ping' with a 'pong'."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def handle(self, network, message):
+        self.received.append(message)
+        if message.kind == "ping":
+            network.send(self.name, message.sender, "pong")
+
+
+class TestNetwork:
+    def test_round_trip_counts_two_messages(self):
+        net = Network(latency=0.001)
+        a, b = EchoNode("a"), EchoNode("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.send("a", "b", "ping")
+        delivered = net.run()
+        assert delivered == 2
+        assert net.messages_delivered == 2
+        assert net.simulated_seconds == pytest.approx(0.002)
+        assert [m.kind for m in a.received] == ["pong"]
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node(EchoNode("a"))
+        with pytest.raises(NetworkError):
+            net.add_node(EchoNode("a"))
+
+    def test_unknown_recipient_raises(self):
+        net = Network()
+        net.add_node(EchoNode("a"))
+        net.send("a", "nobody", "ping")
+        with pytest.raises(NetworkError):
+            net.run()
+
+    def test_failed_node_raises_by_default(self):
+        net = Network()
+        net.add_node(EchoNode("a"))
+        net.add_node(EchoNode("b"))
+        net.fail_node("b")
+        net.send("a", "b", "ping")
+        with pytest.raises(NetworkError):
+            net.run()
+
+    def test_failed_node_drops_when_configured(self):
+        net = Network(drop_to_failed=True)
+        a, b = EchoNode("a"), EchoNode("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.fail_node("b")
+        net.send("a", "b", "ping")
+        assert net.run() == 1
+        assert b.received == []
+
+    def test_recovery(self):
+        net = Network(drop_to_failed=True)
+        a, b = EchoNode("a"), EchoNode("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.fail_node("b")
+        assert net.is_failed("b")
+        net.recover_node("b")
+        net.send("a", "b", "ping")
+        net.run()
+        assert len(b.received) == 1
+
+    def test_message_budget_guards_loops(self):
+        class LoopNode(Node):
+            def handle(self, network, message):
+                network.send(self.name, self.name, "loop")
+
+        net = Network()
+        net.add_node(LoopNode("l"))
+        net.send("l", "l", "loop")
+        with pytest.raises(NetworkError):
+            net.run(max_messages=100)
+
+    def test_message_str(self):
+        assert str(Message("a", "b", "ping")) == "a -> b: ping"
+
+
+class TestHashRing:
+    def test_deterministic_ownership(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        assert ring.owner("some-key") == ring.owner("some-key")
+        assert ring.owner("some-key") in {"n0", "n1", "n2"}
+
+    def test_spread_over_nodes(self):
+        ring = HashRing([f"n{i}" for i in range(8)])
+        owners = {ring.owner(f"key-{i}") for i in range(200)}
+        assert len(owners) >= 4  # hashing spreads keys around
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert ring.owner("anything") == "solo"
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(NetworkError):
+            HashRing([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(NetworkError):
+            HashRing(["a", "a"])
+
+    def test_owner_excluding_failed(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        primary = ring.owner("key")
+        fallback = ring.owner_excluding("key", {primary})
+        assert fallback != primary
+        assert fallback in {"n0", "n1", "n2"}
+
+    def test_owner_excluding_all_raises(self):
+        ring = HashRing(["n0"])
+        with pytest.raises(NetworkError):
+            ring.owner_excluding("key", {"n0"})
+
+    def test_nodes_in_ring_order(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        assert set(ring.nodes()) == {"n0", "n1", "n2"}
+        assert len(ring) == 3

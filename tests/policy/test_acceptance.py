@@ -1,0 +1,109 @@
+"""Unit tests for acceptance rules and pri_i computation (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.model import Insert, make_transaction
+from repro.policy import (
+    AcceptanceRule,
+    TrustPolicy,
+    always,
+    attribute_equals,
+    origin_is,
+    policy_from_priorities,
+)
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+MOUSE2 = ("mouse", "prot2", "immune")
+
+
+class TestAcceptanceRule:
+    def test_negative_priority_rejected(self):
+        with pytest.raises(PolicyError):
+            AcceptanceRule(always(), -1)
+
+    def test_matches(self, schema):
+        rule = AcceptanceRule(origin_is(2), 5)
+        assert rule.matches(schema, Insert("F", RAT1, 2))
+        assert not rule.matches(schema, Insert("F", RAT1, 3))
+
+
+class TestPriorityOf:
+    def test_untrusted_transaction_gets_zero(self, schema):
+        policy = TrustPolicy().trust_participant(2, 1)
+        txn = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert policy.priority_of(schema, txn) == 0
+        assert not policy.trusts(schema, txn)
+
+    def test_trusted_transaction_gets_rule_priority(self, schema):
+        policy = TrustPolicy().trust_participant(3, 2)
+        txn = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert policy.priority_of(schema, txn) == 2
+        assert policy.trusts(schema, txn)
+
+    def test_max_of_matching_rules(self, schema):
+        policy = (
+            TrustPolicy()
+            .trust_participant(3, 1)
+            .trust(attribute_equals("F", "organism", "rat"), 7)
+        )
+        txn = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert policy.priority_of(schema, txn) == 7
+
+    def test_any_untrusted_update_zeroes_the_transaction(self, schema):
+        # pri_i(X) = 0 if ANY update in X is untrusted.
+        policy = TrustPolicy().trust(
+            attribute_equals("F", "organism", "rat"), 4
+        )
+        txn = make_transaction(
+            3, 0, [Insert("F", RAT1, 3), Insert("F", MOUSE2, 3)]
+        )
+        assert policy.priority_of(schema, txn) == 0
+
+    def test_mixed_priorities_take_max(self, schema):
+        policy = (
+            TrustPolicy()
+            .trust(attribute_equals("F", "organism", "rat"), 4)
+            .trust(attribute_equals("F", "organism", "mouse"), 2)
+        )
+        txn = make_transaction(
+            3, 0, [Insert("F", RAT1, 3), Insert("F", MOUSE2, 3)]
+        )
+        assert policy.priority_of(schema, txn) == 4
+
+    def test_zero_priority_rule_is_not_trust(self, schema):
+        policy = TrustPolicy().trust(always(), 0)
+        txn = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert policy.priority_of(schema, txn) == 0
+
+    def test_trust_all(self, schema):
+        policy = TrustPolicy().trust_all(1)
+        txn = make_transaction(99, 0, [Insert("F", RAT1, 99)])
+        assert policy.priority_of(schema, txn) == 1
+
+    def test_empty_policy_trusts_nothing(self, schema):
+        policy = TrustPolicy()
+        txn = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert policy.priority_of(schema, txn) == 0
+
+
+class TestPolicyConstruction:
+    def test_policy_from_priorities(self, schema):
+        # p2's policy from Figure 1: p1 at priority 2, p3 at priority 1.
+        policy = policy_from_priorities([(1, 2), (3, 1)])
+        txn1 = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        txn3 = make_transaction(3, 0, [Insert("F", RAT1, 3)])
+        assert policy.priority_of(schema, txn1) == 2
+        assert policy.priority_of(schema, txn3) == 1
+
+    def test_rules_property_and_len(self):
+        policy = policy_from_priorities([(1, 2), (3, 1)])
+        assert len(policy) == 2
+        assert all(isinstance(r, AcceptanceRule) for r in policy.rules)
+
+    def test_str_form(self):
+        policy = TrustPolicy().trust_participant(2, 1)
+        assert "origin = p2" in str(policy)

