@@ -56,7 +56,7 @@ def test_ablation_indexed_vs_naive_conflict_detection(benchmark):
     naive_seconds = time.perf_counter() - naive_start
 
     indexed = benchmark.pedantic(
-        lambda: find_conflicts(schema, graph, extensions),
+        lambda: find_conflicts(schema, graph, extensions).adjacency,
         rounds=3,
         iterations=1,
     )

@@ -64,7 +64,7 @@ def test_ablation_flattening_removes_intermediate_conflicts(benchmark):
             root.tid: compute_update_extension(schema, graph, root, set())
             for root in roots
         }
-        return find_conflicts(schema, graph, extensions)
+        return find_conflicts(schema, graph, extensions).adjacency
 
     flattened = benchmark.pedantic(flattened_conflicts, rounds=1, iterations=1)
 

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.cache import ExtensionCache
 from repro.core.decisions import ReconcileResult
 from repro.core.engine import Reconciler
 from repro.core.resolution import Resolution, resolve_conflicts
@@ -58,19 +59,27 @@ class Participant:
         instance: Optional[Instance] = None,
         network_centric: bool = False,
         register: bool = True,
+        engine_caching: bool = True,
     ) -> None:
         """``network_centric=True`` delegates extension computation and
         conflict detection to the store (Figure 3's network-centric mode);
         requires a store that implements ``begin_network_reconciliation``.
         ``register=False`` re-attaches to an existing registration (used by
-        :meth:`rebuild`)."""
+        :meth:`rebuild`).  ``engine_caching=False`` disables the engine's
+        extension/conflict caches (every epoch recomputes from scratch —
+        the perf benchmark's baseline)."""
         self.id = participant_id
         self.store = store
         self.policy = policy
         self.network_centric = network_centric
         self.instance = instance or MemoryInstance(store.schema)
         self.state = ParticipantState(participant_id)
-        self.reconciler = Reconciler(store.schema, self.instance, self.state)
+        self.reconciler = Reconciler(
+            store.schema,
+            self.instance,
+            self.state,
+            cache=ExtensionCache(enabled=engine_caching),
+        )
         self.timings: List[ReconcileTiming] = []
         self._sequence = 0
         self._unpublished: List[Transaction] = []
@@ -85,6 +94,8 @@ class Participant:
         store: UpdateStore,
         policy: TrustPolicy,
         instance: Optional[Instance] = None,
+        network_centric: bool = False,
+        engine_caching: bool = True,
     ) -> "Participant":
         """Reconstruct a participant entirely from the update store.
 
@@ -100,7 +111,13 @@ class Participant:
         from repro.store.logic import antecedent_closure
 
         participant = cls(
-            participant_id, store, policy, instance, register=False
+            participant_id,
+            store,
+            policy,
+            instance,
+            network_centric=network_centric,
+            register=False,
+            engine_caching=engine_caching,
         )
         applied, rejected, deferred = store.decided_transactions(
             participant_id

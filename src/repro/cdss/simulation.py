@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cdss.system import CDSS
+from repro.core.cache import CacheStats
 from repro.metrics.timing import TimingAggregate, aggregate_timings
 from repro.store.base import UpdateStore
 from repro.store.memory import MemoryUpdateStore
@@ -43,6 +44,8 @@ class SimulationConfig:
     rounds: int = 4  # publish+reconcile cycles per participant
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     final_reconcile: bool = False
+    #: False runs every engine with caching disabled (perf baseline).
+    engine_caching: bool = True
 
 
 @dataclass
@@ -54,6 +57,8 @@ class SimulationReport:
     timings: Dict[int, TimingAggregate]
     transactions_published: int
     store_messages: int
+    #: Engine cache counters summed over all participants.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     @property
     def mean_total_seconds_per_participant(self) -> float:
@@ -124,7 +129,7 @@ class Simulation:
                 lambda: MemoryUpdateStore(curated_schema())
             )
             store = factory()
-        self.cdss = CDSS(store)
+        self.cdss = CDSS(store, engine_caching=self.config.engine_caching)
         self.generator = WorkloadGenerator(self.config.workload)
         self.cdss.add_mutually_trusting_participants(
             list(range(1, self.config.participants + 1))
@@ -153,6 +158,9 @@ class Simulation:
 
     def report(self) -> SimulationReport:
         """Metrics of the run so far."""
+        cache_stats = CacheStats()
+        for participant in self.cdss.participants:
+            cache_stats.add(participant.reconciler.cache.stats)
         return SimulationReport(
             config=self.config,
             state_ratio=self.cdss.state_ratio(relation="F"),
@@ -162,4 +170,5 @@ class Simulation:
             },
             transactions_published=self._transactions_published,
             store_messages=self.cdss.store.perf.messages,
+            cache_stats=cache_stats,
         )

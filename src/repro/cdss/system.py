@@ -19,8 +19,13 @@ class CDSS:
     exposes system-wide metrics (the evaluation section's *state ratio*).
     """
 
-    def __init__(self, store: UpdateStore) -> None:
+    def __init__(
+        self, store: UpdateStore, engine_caching: bool = True
+    ) -> None:
+        """``engine_caching=False`` builds participants whose engines
+        recompute everything per epoch (benchmark baseline)."""
         self.store = store
+        self.engine_caching = engine_caching
         self._participants: Dict[int, Participant] = {}
 
     @property
@@ -40,7 +45,11 @@ class CDSS:
                 f"participant {participant_id} already exists in this CDSS"
             )
         participant = Participant(
-            participant_id, self.store, policy, instance
+            participant_id,
+            self.store,
+            policy,
+            instance,
+            engine_caching=self.engine_caching,
         )
         self._participants[participant_id] = participant
         return participant

@@ -6,6 +6,8 @@
   ``te_i|e(X)`` and flattened update extensions (Definitions 3-4);
 * :mod:`repro.core.conflicts` — hash-based direct-conflict detection
   between update extensions, conflict groups, and options;
+* :mod:`repro.core.cache` — incremental extension and conflict-pair
+  caches keyed by applied-set versions (the reconciliation hot path);
 * :mod:`repro.core.state` — the reconciling participant's persistent
   bookkeeping (applied / rejected / deferred sets, dirty values);
 * :mod:`repro.core.engine` — the client-centric ``ReconcileUpdates``
@@ -16,7 +18,13 @@
 """
 
 from repro.core.appendonly import reconcile_append_only
-from repro.core.conflicts import ConflictGroup, Option, classify_conflict
+from repro.core.cache import CacheStats, ConflictCache, ExtensionCache
+from repro.core.conflicts import (
+    ConflictAnalysis,
+    ConflictGroup,
+    Option,
+    classify_conflict,
+)
 from repro.core.decisions import Decision, ReconcileResult
 from repro.core.engine import Reconciler
 from repro.core.extensions import (
@@ -28,8 +36,12 @@ from repro.core.resolution import Resolution, resolve_conflicts
 from repro.core.state import ParticipantState
 
 __all__ = [
+    "CacheStats",
+    "ConflictAnalysis",
+    "ConflictCache",
     "ConflictGroup",
     "Decision",
+    "ExtensionCache",
     "Option",
     "ParticipantState",
     "ReconcileResult",

@@ -1,0 +1,318 @@
+"""Incremental caches for the reconciliation hot path.
+
+The paper's complexity argument (Section 4.3) assumes hash-based conflict
+detection and soft-state reuse keep ``ReconcileUpdates`` within
+O(t² + t·u·a).  The seed implementation met the bound per call but paid it
+again on every epoch: each deferred transaction's update extension was
+re-derived from scratch every reconciliation, and every extension pair was
+re-compared even when neither side had changed.  This module makes that
+work *incremental* — pay once per newly published transaction, not once
+per epoch per participant:
+
+* :class:`ExtensionCache` memoizes ``root → UpdateExtension`` against a
+  monotone version counter on the participant's applied set
+  (:attr:`~repro.core.state.ParticipantState.applied_version`).  A version
+  match is an O(1) hit.  On a version mismatch the entry is *revalidated*
+  in O(|members|): the transaction extension is the antecedent closure
+  stopped at applied transactions, and applied sets only grow, so a cached
+  closure none of whose members became applied is still exact (any member
+  the larger applied set would remove must itself appear in
+  ``members ∩ applied``).  Only entries that fail revalidation are
+  recomputed.
+
+* :class:`ConflictCache` memoizes the direct-conflict points of extension
+  *pairs*, keyed by the identity of the two extension objects.  Extensions
+  are immutable and :class:`ExtensionCache` returns the same object while
+  an entry stays valid, so identity equality is exact.  Negative results
+  (no conflict) are cached too — they are the overwhelmingly common case.
+
+* :class:`CacheStats` counts hits, misses, and revalidations; the engine
+  exposes a per-reconciliation snapshot on
+  :attr:`~repro.core.decisions.ReconcileResult.cache_stats`.
+
+:class:`ExtensionCache` instances are per-participant (client-side on
+the :class:`~repro.core.engine.Reconciler`, store-side per registered
+peer in network-centric mode) and are pruned to the still-deferred roots
+after each reconciliation, so they hold O(deferred) entries, not
+O(history).  :class:`ConflictCache` is used two ways: per participant by
+the network-centric store mixin, and as the *confederation-shared* pair
+memo the store ships on every batch (identity validation makes sharing
+across participants exact — see
+:meth:`repro.store.network_centric.NetworkCentricMixin.shared_pair_cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.model.schema import Schema
+from repro.model.transactions import TransactionId
+
+from repro.core.extensions import (
+    RelevantTransaction,
+    TransactionGraph,
+    UpdateExtension,
+    compute_update_extension,
+)
+
+#: An unordered extension pair, stored with the lower tid first.
+PairKey = Tuple[TransactionId, TransactionId]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (or a snapshot/delta of them).
+
+    ``hits`` are O(1) version matches; ``revalidations`` are O(|members|)
+    reuses after the applied set grew; ``shipped`` counts store-shipped
+    context-free extensions adopted instead of computing locally;
+    ``misses`` are full recomputations (including cold entries);
+    ``pair_hits`` / ``pair_misses`` count conflict-pair comparisons served
+    from / added to the pair cache (or performed by the incremental
+    conflict index).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    revalidations: int = 0
+    shipped: int = 0
+    pair_hits: int = 0
+    pair_misses: int = 0
+
+    @property
+    def reuses(self) -> int:
+        """Extension lookups that avoided a local recomputation."""
+        return self.hits + self.revalidations + self.shipped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of extension lookups served without recomputation."""
+        total = self.reuses + self.misses
+        return self.reuses / total if total else 0.0
+
+    @property
+    def pair_hit_rate(self) -> float:
+        """Fraction of pair comparisons served from the cache."""
+        total = self.pair_hits + self.pair_misses
+        return self.pair_hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable-by-convention copy of the current counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            revalidations=self.revalidations,
+            shipped=self.shipped,
+            pair_hits=self.pair_hits,
+            pair_misses=self.pair_misses,
+        )
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate ``other``'s counters into this one (aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.revalidations += other.revalidations
+        self.shipped += other.shipped
+        self.pair_hits += other.pair_hits
+        self.pair_misses += other.pair_misses
+
+    def minus(self, other: "CacheStats") -> "CacheStats":
+        """The counter delta since ``other`` (an earlier snapshot)."""
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            revalidations=self.revalidations - other.revalidations,
+            shipped=self.shipped - other.shipped,
+            pair_hits=self.pair_hits - other.pair_hits,
+            pair_misses=self.pair_misses - other.pair_misses,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """A JSON-friendly view (used by the perf benchmark)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "revalidations": self.revalidations,
+            "shipped": self.shipped,
+            "pair_hits": self.pair_hits,
+            "pair_misses": self.pair_misses,
+            "hit_rate": self.hit_rate,
+            "pair_hit_rate": self.pair_hit_rate,
+        }
+
+
+class ExtensionCache:
+    """Memoizes update extensions against an applied-set version counter.
+
+    ``enabled=False`` turns every lookup into a recomputation (the
+    benchmark's uncached baseline) while keeping the interface identical.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._entries: Dict[TransactionId, Tuple[int, UpdateExtension]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self,
+        tid: TransactionId,
+        version: int,
+        applied: Set[TransactionId],
+        priority: Optional[int] = None,
+    ) -> Optional[UpdateExtension]:
+        """The cached extension for ``tid`` if still valid, else None.
+
+        A version match hits outright.  Otherwise the entry is revalidated:
+        if none of its members became applied, the closure is unchanged and
+        the entry is refreshed to the current version (see module
+        docstring).  ``priority`` guards against trust-policy drift: a
+        cached extension carrying a different root priority is discarded.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get(tid)
+        if entry is None:
+            return None
+        cached_version, extension = entry
+        if priority is not None and extension.priority != priority:
+            return None
+        if cached_version == version:
+            self.stats.hits += 1
+            return extension
+        if not (extension.member_set() & applied):
+            self._entries[tid] = (version, extension)
+            self.stats.revalidations += 1
+            return extension
+        return None
+
+    def store(
+        self, tid: TransactionId, version: int, extension: UpdateExtension
+    ) -> None:
+        """Record ``extension`` as valid at applied-set ``version``."""
+        if self.enabled:
+            self._entries[tid] = (version, extension)
+
+    def get_or_compute(
+        self,
+        schema: Schema,
+        graph: TransactionGraph,
+        root: RelevantTransaction,
+        applied: Set[TransactionId],
+        version: int,
+    ) -> UpdateExtension:
+        """The root's extension, from cache when valid.
+
+        Propagates :class:`~repro.errors.FlattenError` from the underlying
+        computation (the engine rejects such roots); failures are not
+        cached — a root that fails to flatten is rejected and never
+        re-requested.
+        """
+        extension = self.lookup(root.tid, version, applied, root.priority)
+        if extension is not None:
+            return extension
+        self.stats.misses += 1
+        extension = compute_update_extension(schema, graph, root, applied)
+        self.store(root.tid, version, extension)
+        return extension
+
+    def prune(self, keep: Iterable[TransactionId]) -> None:
+        """Drop entries for roots no longer under consideration."""
+        keep_set = set(keep)
+        for tid in [t for t in self._entries if t not in keep_set]:
+            del self._entries[tid]
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+
+class ConflictCache:
+    """Memoizes direct-conflict points per extension pair.
+
+    Entries pin the two compared :class:`UpdateExtension` objects, so a
+    recomputed (hence new) extension object naturally invalidates every
+    pair it participated in.  ``stats`` is shared with the owning
+    :class:`ExtensionCache` when the engine wires them together, so one
+    snapshot covers both.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        stats: Optional[CacheStats] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        """``limit`` caps the entry count with FIFO eviction (an evicted
+        pair simply gets re-compared on its next miss); None = unbounded,
+        for callers that prune explicitly."""
+        self.enabled = enabled
+        self.stats = stats if stats is not None else CacheStats()
+        self.limit = limit
+        self._entries: Dict[
+            PairKey,
+            Tuple[UpdateExtension, UpdateExtension, Tuple],
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def pair_key(left: TransactionId, right: TransactionId) -> PairKey:
+        """The canonical unordered key for a pair of roots."""
+        return (left, right) if left < right else (right, left)
+
+    def lookup(
+        self,
+        key: PairKey,
+        left: UpdateExtension,
+        right: UpdateExtension,
+    ) -> Optional[Tuple]:
+        """Cached conflict points for the pair, or None if stale/absent.
+
+        ``left``/``right`` may arrive in either order; the stored entry is
+        keyed canonically and validated by object identity on both sides.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        cached_left, cached_right, points = entry
+        if (cached_left is left and cached_right is right) or (
+            cached_left is right and cached_right is left
+        ):
+            self.stats.pair_hits += 1
+            return points
+        return None
+
+    def store(
+        self,
+        key: PairKey,
+        left: UpdateExtension,
+        right: UpdateExtension,
+        points: Sequence,
+    ) -> None:
+        """Record the pair's conflict points (possibly empty — cached too)."""
+        if self.enabled:
+            self.stats.pair_misses += 1
+            self._entries[key] = (left, right, tuple(points))
+            if self.limit is not None:
+                while len(self._entries) > self.limit:
+                    self._entries.pop(next(iter(self._entries)))
+
+    def prune(self, keep: Iterable[TransactionId]) -> None:
+        """Drop pairs involving roots no longer under consideration."""
+        keep_set = set(keep)
+        for key in [
+            k for k in self._entries
+            if k[0] not in keep_set or k[1] not in keep_set
+        ]:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

@@ -26,6 +26,7 @@ from repro.model.transactions import TransactionId
 from repro.model.tuples import QualifiedKey
 from repro.model.updates import Delete, Insert, Modify, Update, updates_conflict
 
+from repro.core.cache import CacheStats, ConflictCache
 from repro.core.extensions import TransactionGraph, UpdateExtension, update_footprint
 
 
@@ -75,15 +76,21 @@ def _conflict_points(
         left_index = _index_by_key(schema, left_ops)
     if right_index is None:
         right_index = _index_by_key(schema, right_ops)
-    points: List[Tuple[str, QualifiedKey]] = []
-    for key in left_index.keys() & right_index.keys():
-        for left in left_index[key]:
-            for right in right_index[key]:
+    # Probe the smaller index into the larger one instead of materialising
+    # the key intersection; most footprints share at most one key.
+    if len(left_index) > len(right_index):
+        left_index, right_index = right_index, left_index
+    # Dict-as-set: O(1) dedup while preserving first-seen order.
+    points: Dict[Tuple[str, QualifiedKey], None] = {}
+    for key, left_at_key in left_index.items():
+        right_at_key = right_index.get(key)
+        if right_at_key is None:
+            continue
+        for left in left_at_key:
+            for right in right_at_key:
                 if updates_conflict(schema, left, right):
-                    point = (classify_conflict(left, right), key)
-                    if point not in points:
-                        points.append(point)
-    return points
+                    points[(classify_conflict(left, right), key)] = None
+    return list(points)
 
 
 def direct_conflict_points(
@@ -100,11 +107,17 @@ def direct_conflict_points(
     comparing; when the extensions share nothing, the precomputed flattened
     operations (and, if given, their key indexes) are compared directly.
     """
-    shared = left.member_set() & right.member_set()
-    if not shared:
+    left_set = left.member_set()
+    right_set = right.member_set()
+    if left_set.isdisjoint(right_set):  # common case: no allocation
+        if left_index is None:
+            left_index = left.key_index(schema)
+        if right_index is None:
+            right_index = right.key_index(schema)
         return _conflict_points(
             schema, left.operations, right.operations, left_index, right_index
         )
+    shared = left_set & right_set
     left_members = [tid for tid in left.members if tid not in shared]
     right_members = [tid for tid in right.members if tid not in shared]
     if not left_members or not right_members:
@@ -124,28 +137,53 @@ def directly_conflict(
     return bool(direct_conflict_points(schema, graph, left, right))
 
 
+@dataclass
+class ConflictAnalysis:
+    """What ``FindConflicts`` learned about a set of extensions.
+
+    * ``adjacency`` — the symmetric direct-conflict map the greedy
+      ``DoGroup`` phase consumes;
+    * ``points`` — per conflicting (unordered, lower-tid-first) pair, the
+      ``(type, key)`` points at which the pair conflicts.  Conflict-group
+      construction consumes these directly instead of re-running
+      :func:`direct_conflict_points` for every adjacent pair.
+    """
+
+    adjacency: Dict[TransactionId, Set[TransactionId]]
+    points: Dict[
+        Tuple[TransactionId, TransactionId],
+        Tuple[Tuple[str, QualifiedKey], ...],
+    ]
+
+
 def find_conflicts(
     schema: Schema,
     graph: TransactionGraph,
     extensions: Dict[TransactionId, UpdateExtension],
-) -> Dict[TransactionId, Set[TransactionId]]:
+    cache: Optional["ConflictCache"] = None,
+) -> ConflictAnalysis:
     """The paper's ``FindConflicts``: pairwise direct conflicts.
 
-    Returns a symmetric adjacency map.  Pairs where one extension subsumes
-    the other are skipped (Figure 5, FindConflicts line 4).  A key index
-    over the flattened operations keeps the common case near-linear.
+    Returns the symmetric adjacency map together with the conflict points
+    of every conflicting pair (see :class:`ConflictAnalysis`).  Pairs
+    where one extension subsumes the other are skipped (Figure 5,
+    FindConflicts line 4).  A key index over the flattened operations
+    keeps the common case near-linear, and a
+    :class:`~repro.core.cache.ConflictCache` (when provided) skips the
+    pairwise comparison entirely for pairs whose extensions are unchanged
+    since the last call — including non-conflicting pairs.
     """
     conflicts: Dict[TransactionId, Set[TransactionId]] = {
         tid: set() for tid in extensions
     }
+    points_by_pair: Dict[
+        Tuple[TransactionId, TransactionId],
+        Tuple[Tuple[str, QualifiedKey], ...],
+    ] = {}
 
-    indexes: Dict[TransactionId, Dict[QualifiedKey, List[Update]]] = {
-        tid: _index_by_key(schema, extension.operations)
-        for tid, extension in extensions.items()
-    }
     by_key: Dict[QualifiedKey, List[TransactionId]] = {}
-    for tid, index in indexes.items():
-        for key in index:
+    for tid, extension in extensions.items():
+        for key in extension.key_index(schema):
             by_key.setdefault(key, []).append(tid)
 
     # A dict used as an insertion-ordered set keeps iteration deterministic
@@ -157,22 +195,195 @@ def find_conflicts(
                 pair = (left, right) if left < right else (right, left)
                 candidate_pairs[pair] = None
 
-    for left_tid, right_tid in candidate_pairs:
+    for pair in candidate_pairs:
+        left_tid, right_tid = pair
         left, right = extensions[left_tid], extensions[right_tid]
         if left.subsumes(right) or right.subsumes(left):
             continue
-        points = direct_conflict_points(
-            schema,
-            graph,
-            left,
-            right,
-            indexes[left_tid],
-            indexes[right_tid],
-        )
+        points: Optional[Tuple] = None
+        if cache is not None:
+            points = cache.lookup(pair, left, right)
+        if points is None:
+            points = tuple(
+                direct_conflict_points(
+                    schema,
+                    graph,
+                    left,
+                    right,
+                    left.key_index(schema),
+                    right.key_index(schema),
+                )
+            )
+            if cache is not None:
+                cache.store(pair, left, right, points)
         if points:
             conflicts[left_tid].add(right_tid)
             conflicts[right_tid].add(left_tid)
-    return conflicts
+            points_by_pair[pair] = points
+    return ConflictAnalysis(adjacency=conflicts, points=points_by_pair)
+
+
+class IncrementalConflictIndex:
+    """``FindConflicts`` maintained incrementally across epochs.
+
+    The engine's extension set evolves slowly: previously deferred roots
+    keep their (cached) extension objects, decided roots leave, and new
+    roots arrive.  Conflicts are a pairwise property of two extensions,
+    so the analysis of the new set equals the previous analysis minus
+    pairs involving departed/changed extensions plus fresh comparisons
+    for pairs involving added/changed ones.  This index stores the
+    current analysis together with a key → roots map and applies exactly
+    that delta on :meth:`update` — the all-pairs candidate scan of
+    :func:`find_conflicts` is paid only for what changed, not per epoch.
+
+    Extensions are tracked by object identity (the extension cache
+    returns the same object while an entry stays valid), so a recomputed
+    extension is automatically treated as removed + added.
+
+    ``enabled=False`` degrades to a stateless full :func:`find_conflicts`
+    per call (the uncached baseline).  ``stats.pair_misses`` counts
+    pairwise comparisons actually performed.
+    """
+
+    def __init__(self, enabled: bool = True, stats=None) -> None:
+        self.enabled = enabled
+        self.stats = stats if stats is not None else CacheStats()
+        self._extensions: Dict[TransactionId, UpdateExtension] = {}
+        self._by_key: Dict[QualifiedKey, Dict[TransactionId, None]] = {}
+        self._adjacency: Dict[TransactionId, Set[TransactionId]] = {}
+        self._points: Dict[
+            Tuple[TransactionId, TransactionId],
+            Tuple[Tuple[str, QualifiedKey], ...],
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._extensions)
+
+    def update(
+        self,
+        schema: Schema,
+        graph: TransactionGraph,
+        extensions: Dict[TransactionId, UpdateExtension],
+        shared: Optional["ConflictCache"] = None,
+    ) -> ConflictAnalysis:
+        """Bring the index to ``extensions`` and return its analysis.
+
+        The result equals ``find_conflicts(schema, graph, extensions)``
+        but is a *live view* of the index (no per-epoch copying): it is
+        valid until the next :meth:`update` or :meth:`clear`.
+
+        ``shared`` is an optional cross-participant
+        :class:`~repro.core.cache.ConflictCache` (shipped by the store
+        alongside context-free extensions): pairwise points are a pure
+        function of the two extension objects, so a pair another
+        participant already compared — validated by object identity on
+        both sides — is reused instead of recomputed.
+        """
+        if not self.enabled:
+            return find_conflicts(schema, graph, extensions)
+        removed = [
+            tid
+            for tid, extension in self._extensions.items()
+            if extensions.get(tid) is not extension
+        ]
+        added = [
+            tid
+            for tid, extension in extensions.items()
+            if self._extensions.get(tid) is not extension
+        ]
+        for tid in removed:
+            self._drop(schema, tid)
+        for tid in added:
+            self._add(schema, graph, tid, extensions[tid], shared)
+        return ConflictAnalysis(
+            adjacency=self._adjacency, points=self._points
+        )
+
+    def _drop(self, schema: Schema, tid: TransactionId) -> None:
+        extension = self._extensions.pop(tid)
+        for key in extension.key_index(schema):
+            bucket = self._by_key.get(key)
+            if bucket is not None:
+                bucket.pop(tid, None)
+                if not bucket:
+                    del self._by_key[key]
+        for other in self._adjacency.pop(tid, ()):  # symmetric edges
+            self._adjacency[other].discard(tid)
+            del self._points[ConflictCache.pair_key(tid, other)]
+
+    def _add(
+        self,
+        schema: Schema,
+        graph: TransactionGraph,
+        tid: TransactionId,
+        extension: UpdateExtension,
+        shared: Optional["ConflictCache"] = None,
+    ) -> None:
+        self._extensions[tid] = extension
+        neighbours = self._adjacency[tid] = set()
+        # Partners drawn from the key buckets — the same hash-based
+        # candidate generation as find_conflicts, restricted to the one
+        # new extension (dict-as-set keeps the order deterministic).
+        partners: Dict[TransactionId, None] = {}
+        keys = extension.key_index(schema)
+        for key in keys:
+            bucket = self._by_key.get(key)
+            if bucket is not None:
+                partners.update(bucket)
+        operations = extension.operations
+        members = extension.member_set()
+        for other in partners:
+            other_extension = self._extensions[other]
+            if extension.subsumes(other_extension) or other_extension.subsumes(
+                extension
+            ):
+                continue
+            pair = ConflictCache.pair_key(tid, other)
+            points: Optional[Sequence] = None
+            if shared is not None:
+                points = shared.lookup(pair, extension, other_extension)
+                if points is not None:
+                    self.stats.pair_hits += 1
+            if points is None:
+                self.stats.pair_misses += 1
+                other_operations = other_extension.operations
+                if (
+                    len(operations) == 1
+                    and len(other_operations) == 1
+                    and members.isdisjoint(other_extension.member_set())
+                ):
+                    # Dominant case for fine-grained workloads: two
+                    # single-update footprints with nothing shared.  One
+                    # predicate call decides the pair; a conflict holds
+                    # at every key the two updates share.
+                    left, right = operations[0], other_operations[0]
+                    if updates_conflict(schema, left, right):
+                        kind = classify_conflict(left, right)
+                        other_keys = other_extension.key_index(schema)
+                        points = [
+                            (kind, key) for key in keys if key in other_keys
+                        ]
+                    else:
+                        points = []
+                else:
+                    points = direct_conflict_points(
+                        schema, graph, extension, other_extension
+                    )
+                if shared is not None:
+                    shared.store(pair, extension, other_extension, points)
+            if points:
+                self._points[pair] = tuple(points)
+                neighbours.add(other)
+                self._adjacency[other].add(tid)
+        for key in keys:
+            self._by_key.setdefault(key, {})[tid] = None
+
+    def clear(self) -> None:
+        """Drop all state (used when a caller switches extension sets)."""
+        self._extensions.clear()
+        self._by_key.clear()
+        self._adjacency.clear()
+        self._points.clear()
 
 
 # ----------------------------------------------------------------------
@@ -252,24 +463,25 @@ def build_conflict_groups(
     schema: Schema,
     graph: TransactionGraph,
     deferred: Dict[TransactionId, UpdateExtension],
+    cache: Optional["ConflictCache"] = None,
+    analysis: Optional[ConflictAnalysis] = None,
 ) -> Dict[Tuple[str, QualifiedKey], ConflictGroup]:
     """The grouping step of ``UpdateSoftState`` (Figure 5, lines 7-16).
 
     Finds conflicts among the deferred extensions, groups them by
     ``(type, key)``, and combines compatible transactions (same effect at
-    the key) into shared options.
+    the key) into shared options.  The conflict *points* recorded by
+    :func:`find_conflicts` are consumed directly — the seed implementation
+    re-ran :func:`direct_conflict_points` for every adjacent pair here.
+    ``analysis`` lets a caller that already analysed (a superset of) the
+    deferred extensions this epoch pass the result in.
     """
-    adjacency = find_conflicts(schema, graph, deferred)
+    if analysis is None:
+        analysis = find_conflicts(schema, graph, deferred, cache=cache)
     members: Dict[Tuple[str, QualifiedKey], Set[TransactionId]] = {}
-    for tid, neighbours in adjacency.items():
-        for other in neighbours:
-            if other < tid:
-                continue  # handle each unordered pair once
-            points = direct_conflict_points(
-                schema, graph, deferred[tid], deferred[other]
-            )
-            for point in points:
-                members.setdefault(point, set()).update((tid, other))
+    for (tid, other), points in analysis.points.items():
+        for point in points:
+            members.setdefault(point, set()).update((tid, other))
 
     groups: Dict[Tuple[str, QualifiedKey], ConflictGroup] = {}
     for (kind, key), tids in members.items():

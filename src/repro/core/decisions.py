@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.model.transactions import TransactionId
+
+from repro.core.cache import CacheStats
 
 
 class Decision(enum.Enum):
@@ -30,7 +32,10 @@ class ReconcileResult:
     ``updates_applied`` counts individual updates written to the instance;
     ``conflict_groups`` summarises the open conflicts after this run, as
     ``(group key, option count)`` pairs — full details live on the
-    participant state.
+    participant state; ``cache_stats`` is the extension/conflict-cache
+    counter delta for this run (always populated by the engine — an
+    uncached run simply reports every extension as a miss; None only on
+    results that never went through :meth:`Reconciler.reconcile`).
     """
 
     recno: int
@@ -41,6 +46,7 @@ class ReconcileResult:
     updates_applied: int = 0
     decisions: Dict[TransactionId, Decision] = field(default_factory=dict)
     conflict_groups: List[Tuple[object, int]] = field(default_factory=list)
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def decided(self) -> int:

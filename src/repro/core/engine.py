@@ -27,10 +27,47 @@ The dirty-value test in step 3 applies only to roots that were *not*
 already deferred: previously deferred roots are exactly the transactions
 whose keys are dirty, and they must be re-evaluated on their own merits so
 that conflict resolution can eventually accept them.
+
+Caching (the incremental hot path)
+----------------------------------
+
+Steps 2, 4, and 7 are served by the incremental machinery of
+:mod:`repro.core.cache` and
+:class:`repro.core.conflicts.IncrementalConflictIndex` so repeated
+reconciliations pay only for what changed since the last one:
+
+* update extensions are memoized against
+  :attr:`ParticipantState.applied_version`; a previously deferred root
+  whose antecedent closure is untouched by newly applied transactions is
+  an O(1) hit (or an O(|members|) revalidation), both in step 2 and again
+  in ``UpdateSoftState`` — the seed recomputed every deferred extension
+  twice per epoch;
+* for roots the store shipped a *context-free* extension for (flattened
+  against an empty applied set, derived once per published transaction
+  confederation-wide), the engine adopts the shipped object whenever its
+  member closure is disjoint from the local applied set — the condition
+  under which it provably equals the local computation;
+* ``FindConflicts`` runs against a per-participant incremental index:
+  only pairs involving an extension that changed since the previous
+  epoch are compared, ``UpdateSoftState`` reuses the same index (shrunk
+  to the deferred roots), and a store-shared pair memo lets the first
+  participant to compare two shipped extensions serve every other;
+* ``can_apply_set`` verdicts are memoized against the instance's
+  mutation counter, so unchanged deferred roots skip re-validation
+  against an unchanged replica.
+
+Cache validity never depends on heuristics: extensions are exact for a
+given applied set (reuse only when provably unchanged), conflict points
+depend only on the two extensions compared (validated by object
+identity), and applicability is versioned by instance mutations.
+Decisions are therefore byte-identical to an uncached run — the perf
+benchmark (``benchmarks/test_perf_engine.py``) pins this.  Per-run
+counter deltas are exposed on :attr:`ReconcileResult.cache_stats`.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConstraintViolation, FlattenError
@@ -40,13 +77,16 @@ from repro.model.schema import Schema
 from repro.model.transactions import TransactionId
 from repro.model.updates import Update, updates_conflict
 
-from repro.core.conflicts import build_conflict_groups, find_conflicts
+from repro.core.cache import ExtensionCache
+from repro.core.conflicts import (
+    IncrementalConflictIndex,
+    build_conflict_groups,
+)
 from repro.core.decisions import Decision, ReconcileResult
 from repro.core.extensions import (
     ReconciliationBatch,
     RelevantTransaction,
     UpdateExtension,
-    compute_update_extension,
     update_footprint,
 )
 from repro.core.state import ParticipantState
@@ -56,16 +96,42 @@ class Reconciler:
     """Runs client-centric reconciliation for one participant."""
 
     def __init__(
-        self, schema: Schema, instance: Instance, state: ParticipantState
+        self,
+        schema: Schema,
+        instance: Instance,
+        state: ParticipantState,
+        cache: Optional[ExtensionCache] = None,
     ) -> None:
+        """``cache`` defaults to a fresh enabled :class:`ExtensionCache`;
+        pass ``ExtensionCache(enabled=False)`` to run every epoch from
+        scratch (the benchmark's uncached baseline)."""
         self._schema = schema
         self._instance = instance
         self._state = state
+        self._cache = cache if cache is not None else ExtensionCache()
+        self._conflict_index = IncrementalConflictIndex(
+            enabled=self._cache.enabled, stats=self._cache.stats
+        )
+        # ``can_apply_set`` verdicts per root: (extension object, instance
+        # mutation count, verdict).  Exact — the verdict is a pure
+        # function of the extension's operations and the instance state,
+        # and both are versioned.
+        self._applicability: Dict[
+            TransactionId, Tuple[UpdateExtension, int, bool]
+        ] = {}
+        # The store-shared pair cache of the batch being reconciled, if
+        # any (see ReconciliationBatch.pair_cache).
+        self._shared_pairs = None
 
     @property
     def state(self) -> ParticipantState:
         """The participant's reconciliation bookkeeping."""
         return self._state
+
+    @property
+    def cache(self) -> ExtensionCache:
+        """The participant's extension cache (stats live here)."""
+        return self._cache
 
     # ------------------------------------------------------------------
 
@@ -87,24 +153,71 @@ class Reconciler:
         previously_deferred = set(state.deferred)
         roots = self._gather_roots(batch)
         result = ReconcileResult(recno=batch.recno)
+        stats_before = self._cache.stats.snapshot()
 
         extensions: Dict[TransactionId, UpdateExtension] = {}
         decision: Dict[TransactionId, Decision] = {}
         own_delta = list(flatten(self._schema, own_updates)) if own_updates else []
+        own_keys = frozenset(
+            key
+            for update in own_delta
+            for key in update.keys_touched(self._schema)
+        )
 
         # Figure 4 lines 5-8: flattened extensions and CheckState.  In
         # network-centric mode the store precomputed the extensions (and
         # must have covered every root, deferred ones included); any root
-        # it missed falls back to local computation.
+        # it missed falls back to local computation.  Extensions for
+        # previously deferred roots are usually cache hits: they were
+        # stored last epoch and stay exact while no member of their
+        # antecedent closure becomes applied.  In client-centric mode the
+        # store may still ship *context-free* extensions (computed once
+        # per published transaction); one is adopted when this
+        # participant's applied set is disjoint from its closure — the
+        # condition under which it equals the locally computed extension.
         precomputed = batch.extensions if batch.network_centric else None
+        shipped = (
+            batch.extensions
+            if batch.extensions is not None and not batch.network_centric
+            else None
+        )
         for root in roots:
             extension = None
             if precomputed is not None:
                 extension = precomputed.get(root.tid)
+                if extension is not None:
+                    self._cache.store(
+                        root.tid, state.applied_version, extension
+                    )
+            elif self._cache.enabled:
+                extension = self._cache.lookup(
+                    root.tid,
+                    state.applied_version,
+                    state.applied,
+                    root.priority,
+                )
+                if extension is None and shipped is not None:
+                    candidate = shipped.get(root.tid)
+                    if candidate is not None and candidate.member_set().isdisjoint(
+                        state.applied
+                    ):
+                        if candidate.priority != root.priority:
+                            candidate = replace(
+                                candidate, priority=root.priority
+                            )
+                        extension = candidate
+                        self._cache.stats.shipped += 1
+                        self._cache.store(
+                            root.tid, state.applied_version, extension
+                        )
             if extension is None:
                 try:
-                    extension = compute_update_extension(
-                        self._schema, state.graph, root, state.applied
+                    extension = self._cache.get_or_compute(
+                        self._schema,
+                        state.graph,
+                        root,
+                        state.applied,
+                        state.applied_version,
                     )
                 except FlattenError:
                     # An internally inconsistent chain can never be applied.
@@ -114,20 +227,29 @@ class Reconciler:
             decision[root.tid] = self._check_state(
                 extension,
                 own_delta,
+                own_keys,
                 dirty_exempt=root.tid in previously_deferred,
             )
 
-        # Figure 4 line 9 (store-side in network-centric mode).
+        # Figure 4 line 9 (store-side in network-centric mode).  The
+        # incremental index restricts the pairwise work to pairs involving
+        # at least one extension that changed since the previous epoch.
+        self._shared_pairs = (
+            batch.pair_cache if self._cache.enabled else None
+        )
         if batch.network_centric and set(batch.conflicts) >= set(extensions):
-            conflicts = batch.conflicts
+            adjacency = batch.conflicts
         else:
-            conflicts = find_conflicts(self._schema, state.graph, extensions)
+            analysis = self._conflict_index.update(
+                self._schema, state.graph, extensions, self._shared_pairs
+            )
+            adjacency = analysis.adjacency
 
         # Figure 4 lines 10-12: greedy, by decreasing priority.
         priorities = sorted({root.priority for root in roots}, reverse=True)
         roots_by_tid = {root.tid: root for root in roots}
         for priority in priorities:
-            self._do_group(priority, roots_by_tid, conflicts, decision)
+            self._do_group(priority, roots_by_tid, adjacency, decision)
 
         # Figure 4 lines 13-19: record decisions and apply accepted roots.
         self._apply_accepted(roots, extensions, decision, result)
@@ -150,8 +272,19 @@ class Reconciler:
                 result.deferred.append(root.tid)
         result.decisions = dict(decision)
 
-        # Figure 4 line 21: UpdateSoftState.
+        # Figure 4 line 21: UpdateSoftState, reusing this epoch's
+        # extensions and conflict analysis wherever they are still exact.
         self._update_soft_state(result)
+
+        # The extension cache only ever needs the still-deferred roots
+        # again (the conflict index pruned itself to the deferred set
+        # inside UpdateSoftState).
+        self._cache.prune(state.deferred)
+        for tid in [
+            t for t in self._applicability if t not in state.deferred
+        ]:
+            del self._applicability[tid]
+        result.cache_stats = self._cache.stats.minus(stats_before)
 
         state.last_recno = batch.recno
         return result
@@ -180,20 +313,49 @@ class Reconciler:
         self,
         extension: UpdateExtension,
         own_delta: Sequence[Update],
+        own_keys: frozenset,
         dirty_exempt: bool,
     ) -> Decision:
         state = self._state
-        if not dirty_exempt and extension.touched & state.dirty_keys:
+        dirty = state.dirty_keys
+        if not dirty_exempt and dirty and not extension.touched.isdisjoint(dirty):
             return Decision.DEFER
-        if any(member in state.rejected for member in extension.members):
+        rejected = state.rejected
+        if rejected and any(member in rejected for member in extension.members):
             return Decision.REJECT
-        if not self._instance.can_apply_set(list(extension.operations)):
+        if not self._can_apply(extension):
             return Decision.REJECT
-        for update in extension.operations:
-            for own in own_delta:
-                if updates_conflict(self._schema, update, own):
-                    return Decision.REJECT
+        # Own-delta conflicts require a shared key (``own_keys`` indexes
+        # the delta's touched keys); extensions elsewhere skip the
+        # pairwise scan entirely.
+        if own_keys and not extension.touched.isdisjoint(own_keys):
+            for update in extension.operations:
+                for own in own_delta:
+                    if updates_conflict(self._schema, update, own):
+                        return Decision.REJECT
         return Decision.ACCEPT
+
+    def _can_apply(self, extension: UpdateExtension) -> bool:
+        """Memoized ``can_apply_set`` for one extension.
+
+        Deferred roots are re-checked on every epoch; while neither their
+        extension object nor the instance changed, the verdict cannot
+        change either.  Disabled together with the extension cache so the
+        uncached baseline re-validates like the seed did.
+        """
+        if not self._cache.enabled:
+            return self._instance.can_apply_set(list(extension.operations))
+        version = self._instance.mutation_count
+        memo = self._applicability.get(extension.root)
+        if (
+            memo is not None
+            and memo[0] is extension
+            and memo[1] == version
+        ):
+            return memo[2]
+        verdict = self._instance.can_apply_set(list(extension.operations))
+        self._applicability[extension.root] = (extension, version, verdict)
+        return verdict
 
     # ------------------------------------------------------------------
     # Step 5: DoGroup (Figure 5)
@@ -229,9 +391,12 @@ class Reconciler:
             if decision.get(tid) is not Decision.REJECT:
                 surviving.append(tid)
         # Lines 13-17: conflicts inside the priority group defer both sides.
-        for i, tid in enumerate(surviving):
-            for other in surviving[i + 1 :]:
-                if other in conflicts.get(tid, ()):
+        # Walk each survivor's (sparse) adjacency instead of enumerating
+        # all O(n²) survivor pairs.
+        surviving_set = set(surviving)
+        for tid in surviving:
+            for other in conflicts.get(tid, ()):
+                if other in surviving_set:
                     decision[tid] = Decision.DEFER
                     decision[other] = Decision.DEFER
 
@@ -299,20 +464,41 @@ class Reconciler:
     # Step 7: UpdateSoftState (Figure 5)
 
     def _update_soft_state(self, result: ReconcileResult) -> None:
+        """Rebuild dirty values and conflict groups for the deferred set.
+
+        Every deferred root was a root of the :meth:`reconcile` call this
+        runs inside of, so its extension is a cache hit unless application
+        made a member of its closure ``applied`` — the seed recomputed
+        every one of them here, a second full pass per epoch.  Likewise
+        the conflict analysis: bringing the incremental index down to the
+        deferred set only drops the decided roots and re-compares pairs
+        involving extensions that actually changed.
+        """
         state = self._state
         deferred_extensions: Dict[TransactionId, UpdateExtension] = {}
         for root in state.deferred_roots():
             try:
-                deferred_extensions[root.tid] = compute_update_extension(
-                    self._schema, state.graph, root, state.applied
+                extension = self._cache.get_or_compute(
+                    self._schema,
+                    state.graph,
+                    root,
+                    state.applied,
+                    state.applied_version,
                 )
             except FlattenError:  # pragma: no cover - defensive
                 continue
+            deferred_extensions[root.tid] = extension
         dirty: Set = set()
         for extension in deferred_extensions.values():
             dirty.update(extension.touched)
+        analysis = self._conflict_index.update(
+            self._schema, state.graph, deferred_extensions, self._shared_pairs
+        )
         groups = build_conflict_groups(
-            self._schema, state.graph, deferred_extensions
+            self._schema,
+            state.graph,
+            deferred_extensions,
+            analysis=analysis,
         )
         state.replace_soft_state(dirty, groups)
         result.conflict_groups = [

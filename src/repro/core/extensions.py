@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReconciliationError
-from repro.model.flatten import flatten, keys_touched
+from repro.model.flatten import flatten_once
 from repro.model.schema import Schema
 from repro.model.transactions import Transaction, TransactionId
 from repro.model.tuples import QualifiedKey
@@ -150,6 +150,7 @@ class UpdateExtension:
 
     def __post_init__(self) -> None:
         self._members_set = frozenset(self.members)
+        self._key_index: Optional[Tuple[Schema, Dict]] = None
 
     def member_set(self) -> frozenset:
         """The members as a set (for subsumption and sharing tests)."""
@@ -158,6 +159,23 @@ class UpdateExtension:
     def subsumes(self, other: "UpdateExtension") -> bool:
         """True if this extension's members are a superset of ``other``'s."""
         return self.member_set() >= other.member_set()
+
+    def key_index(self, schema: Schema) -> Dict[QualifiedKey, List[Update]]:
+        """The operations indexed by every qualified key they touch.
+
+        Memoized on the extension: conflict detection consults the index
+        from both ``FindConflicts`` and ``UpdateSoftState``, and an
+        extension's operations never change after construction.  Callers
+        must not mutate the returned mapping.
+        """
+        if self._key_index is not None and self._key_index[0] is schema:
+            return self._key_index[1]
+        index: Dict[QualifiedKey, List[Update]] = {}
+        for update in self.operations:
+            for key in update.keys_touched(schema):
+                index.setdefault(key, []).append(update)
+        self._key_index = (schema, index)
+        return index
 
 
 def update_footprint(
@@ -178,18 +196,20 @@ def compute_update_extension(
 ) -> UpdateExtension:
     """Build the flattened update extension of ``root`` for a participant.
 
+    The footprint is traced exactly once: :func:`flatten_once` yields the
+    net operations and the touched-key set from a single chain pass.
+
     Raises :class:`~repro.errors.FlattenError` (propagated) if the chain is
     internally inconsistent — the engine treats that as a rejection.
     """
     members = graph.extension(root.tid, applied)
     footprint = update_footprint(graph, members)
-    operations = tuple(flatten(schema, footprint))
-    touched = frozenset(keys_touched(schema, footprint))
+    flat = flatten_once(schema, footprint)
     return UpdateExtension(
         root=root.tid,
         members=tuple(members),
-        operations=operations,
-        touched=touched,
+        operations=flat.operations,
+        touched=flat.keys_touched,
         priority=root.priority,
     )
 
@@ -209,6 +229,17 @@ class ReconciliationBatch:
       When present they must cover every root, including the
       participant's previously deferred transactions (the store tracks
       those).  The engine then skips its two most expensive phases.
+
+    In *client-centric* mode ``extensions`` may still be populated with
+    the store's **context-free** extensions (flattened against an empty
+    applied set, computed once per published transaction); the engine
+    adopts one only when its member closure is disjoint from the local
+    applied set, which is exactly when it equals the local computation.
+    ``pair_cache`` (a :class:`repro.core.cache.ConflictCache`, typed
+    loosely to avoid an import cycle) is a store-shared memo of
+    direct-conflict points between those shipped extension objects —
+    pairwise conflicts are a pure function of the two extensions, so one
+    participant's comparison serves the whole confederation.
     """
 
     recno: int
@@ -216,6 +247,7 @@ class ReconciliationBatch:
     graph: TransactionGraph = field(default_factory=TransactionGraph)
     extensions: Optional[Dict[TransactionId, "UpdateExtension"]] = None
     conflicts: Optional[Dict[TransactionId, set]] = None
+    pair_cache: Optional[object] = None
 
     def root_ids(self) -> List[TransactionId]:
         """Ids of the batch's root transactions."""

@@ -42,6 +42,11 @@ class ParticipantState:
     def __init__(self, participant: int) -> None:
         self.participant = participant
         self.applied: Set[TransactionId] = set()
+        #: Monotone counter bumped whenever ``applied`` grows.  The
+        #: extension cache keys on it: equal version means the applied set
+        #: is unchanged, so every cached extension is still exact (O(1)
+        #: validity check instead of comparing sets).
+        self.applied_version: int = 0
         self.rejected: Set[TransactionId] = set()
         self.deferred: Dict[TransactionId, DeferredEntry] = {}
         self.dirty_keys: Set[QualifiedKey] = set()
@@ -83,10 +88,13 @@ class ParticipantState:
         recorded for it *as a root proposal* is superseded (its updates
         live on inside a longer accepted chain).
         """
+        before = len(self.applied)
         for tid in tids:
             self.applied.add(tid)
             self.deferred.pop(tid, None)
             self.rejected.discard(tid)
+        if len(self.applied) != before:
+            self.applied_version += 1
 
     def record_rejected(self, tids) -> None:
         """Mark transactions as rejected; they leave the deferred set."""

@@ -24,6 +24,12 @@ class Instance(abc.ABC):
 
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
+        #: Monotone counter bumped by every successful mutation entry
+        #: point (``apply`` / ``apply_all`` / ``apply_set``).  Pure
+        #: read-only checks such as :meth:`can_apply_set` are functions of
+        #: the instance state, so callers may memoize their verdicts
+        #: against this version.
+        self.mutation_count: int = 0
 
     @property
     def schema(self) -> Schema:
@@ -87,6 +93,7 @@ class Instance(abc.ABC):
         """Apply a single update, raising :class:`ConstraintViolation` on error."""
         self._check(update, simulated={})
         self._execute(update)
+        self.mutation_count += 1
 
     def apply_all(self, updates: Sequence[Update]) -> None:
         """Apply an update sequence atomically-in-effect.
@@ -100,6 +107,8 @@ class Instance(abc.ABC):
             self._simulate(update, simulated)
         for update in updates:
             self._execute(update)
+        if updates:
+            self.mutation_count += 1
 
     # ------------------------------------------------------------------
     # Set application (flattened update extensions)
@@ -177,6 +186,8 @@ class Instance(abc.ABC):
             if written is not None:
                 rel = self._schema.relation(update.relation)
                 self._set(update.relation, rel.key_of(written), written)
+        if updates:
+            self.mutation_count += 1
 
     # ------------------------------------------------------------------
     # Internal helpers

@@ -41,6 +41,14 @@ interaction* principle: a revised-away modification must not conflict with
 anyone.  The keys such a chain passed through are still reported by
 :func:`keys_read` / :func:`keys_touched`, because dirty-value deferral cares
 about reads even when the net effect is empty.
+
+Hot-path notes: :func:`flatten_once` performs a *single* chain trace and
+returns the net operations together with the read and touched key sets as
+one :class:`FlattenResult`, so callers that need all three (the engine's
+update-extension computation) pay for one trace instead of two or three.
+The legacy entry points (:func:`flatten`, :func:`keys_read`,
+:func:`keys_touched`) are thin views over it.  The module counts tracer
+runs in :func:`trace_runs` so tests can pin the one-pass guarantee.
 """
 
 from __future__ import annotations
@@ -53,8 +61,17 @@ from repro.model.schema import Schema
 from repro.model.tuples import QualifiedKey
 from repro.model.updates import Delete, Insert, Modify, Update
 
+#: Number of chain traces performed since interpreter start.  Tests use
+#: this to assert that a code path traced a sequence exactly once.
+_TRACE_RUNS = 0
 
-@dataclass
+
+def trace_runs() -> int:
+    """How many times a :class:`_Tracer` has folded a sequence so far."""
+    return _TRACE_RUNS
+
+
+@dataclass(slots=True)
 class _Chain:
     """One row lineage traced through an update sequence."""
 
@@ -134,6 +151,8 @@ class _Tracer:
 
 
 def _trace(schema: Schema, updates: Iterable[Update]) -> List[_Chain]:
+    global _TRACE_RUNS
+    _TRACE_RUNS += 1
     tracer = _Tracer(schema)
     for update in updates:
         tracer.feed(update)
@@ -202,7 +221,7 @@ def _compose_pair(reader: Update, writer: Update) -> List[Update]:
 
 
 def _minimise(schema: Schema, nets: List[Update]) -> List[Update]:
-    """Fixpoint composition of reader/writer pairs meeting at one key.
+    """Worklist composition of reader/writer pairs meeting at one key.
 
     Guarantees that in the result no key has both a consumer of row ``r``
     and a producer of the same row ``r`` (such pairs always compose), and
@@ -211,38 +230,146 @@ def _minimise(schema: Schema, nets: List[Update]) -> List[Update]:
     *different* replacements — e.g. ``Delete((k, a))`` alongside
     ``Modify((k2, x) -> (k, b))`` — which is irreducible with row-level
     update operations.
+
+    The reader/writer indexes are maintained incrementally: each
+    composition removes two updates and inserts their replacements,
+    re-enqueueing only the keys the replacements occupy.  Valid inputs
+    carry at most one reader and one writer per key (the tracer enforces
+    this and :func:`_compose_pair` preserves it), so every key is examined
+    O(1) times per composition that touches it instead of restarting a
+    full O(n²) scan after every composition.
     """
-    updates = list(nets)
-    changed = True
-    while changed:
-        changed = False
-        readers: Dict[QualifiedKey, Update] = {}
-        writers: Dict[QualifiedKey, Update] = {}
-        for update in updates:
-            read_key = _reader_at(schema, update)
-            if read_key is not None:
-                readers[read_key] = update
-            write_key = _writer_at(schema, update)
-            if write_key is not None:
-                writers[write_key] = update
-        for key, reader in readers.items():
-            writer = writers.get(key)
-            if writer is None or writer is reader:
-                continue
-            replacement = _compose_pair(reader, writer)
-            if replacement is None:
-                continue
-            updates = [u for u in updates if u is not reader and u is not writer]
-            updates.extend(replacement)
-            changed = True
-            break
-    return updates
+    alive: Dict[int, Update] = {}  # id -> update, insertion-ordered
+    readers: Dict[QualifiedKey, Update] = {}
+    writers: Dict[QualifiedKey, Update] = {}
+    pending: Dict[QualifiedKey, None] = {}  # insertion-ordered key worklist
+
+    def _add(update: Update) -> None:
+        alive[id(update)] = update
+        read_key = _reader_at(schema, update)
+        if read_key is not None:
+            readers[read_key] = update
+            pending[read_key] = None
+        write_key = _writer_at(schema, update)
+        if write_key is not None:
+            writers[write_key] = update
+            pending[write_key] = None
+
+    def _remove(update: Update) -> None:
+        del alive[id(update)]
+        read_key = _reader_at(schema, update)
+        if read_key is not None and readers.get(read_key) is update:
+            del readers[read_key]
+        write_key = _writer_at(schema, update)
+        if write_key is not None and writers.get(write_key) is update:
+            del writers[write_key]
+
+    for update in nets:
+        _add(update)
+    while pending:
+        key = next(iter(pending))
+        del pending[key]
+        reader = readers.get(key)
+        writer = writers.get(key)
+        if reader is None or writer is None or reader is writer:
+            continue
+        replacement = _compose_pair(reader, writer)
+        if replacement is None:
+            continue
+        _remove(reader)
+        _remove(writer)
+        for update in replacement:
+            _add(update)
+    return list(alive.values())
 
 
 def _sort_key(schema: Schema, update: Update) -> Tuple:
     relation = schema.relation(update.relation)
     anchor = update.read_row() if update.read_row() is not None else update.written_row()
     return (update.relation, repr(relation.key_of(anchor)))
+
+
+def _net_of_chains(schema: Schema, chains: List[_Chain]) -> List[Update]:
+    """Minimised, deterministically ordered net updates of traced chains."""
+    nets = [
+        update
+        for chain in chains
+        if (update := _net_update(chain)) is not None
+    ]
+    nets = _minimise(schema, nets)
+    nets.sort(key=lambda u: _sort_key(schema, u))
+    return nets
+
+
+@dataclass(frozen=True)
+class FlattenResult:
+    """Everything one chain trace of an update sequence yields.
+
+    * ``operations`` — the minimal set of net updates (what
+      :func:`flatten` returns);
+    * ``keys_read`` — keys whose pre-existing state the sequence consumed
+      (what :func:`keys_read` returns);
+    * ``keys_touched`` — every key the sequence read or wrote, including
+      intermediate steps (what :func:`keys_touched` returns).
+    """
+
+    operations: Tuple[Update, ...]
+    keys_read: frozenset
+    keys_touched: frozenset
+
+
+_EMPTY_RESULT = None  # initialised below, after FlattenResult exists
+
+
+def _single_update_result(schema: Schema, update: Update) -> FlattenResult:
+    """FlattenResult of a one-update sequence, skipping the trace.
+
+    A single update is always its own net effect: no chain can extend,
+    cancel, or compose with it.  Its touched keys are the update's own,
+    and it reads pre-existing state iff it consumes a row.
+    """
+    read = update.read_row()
+    keys = update.keys_touched(schema)
+    return FlattenResult(
+        operations=(update,),
+        keys_read=frozenset((keys[0],)) if read is not None else frozenset(),
+        keys_touched=frozenset(keys),
+    )
+
+
+def flatten_once(schema: Schema, updates: Iterable[Update]) -> FlattenResult:
+    """Flatten a sequence and report its key footprint in a single pass.
+
+    Equivalent to calling :func:`flatten`, :func:`keys_read`, and
+    :func:`keys_touched` on the same sequence, but the chains are traced
+    exactly once.  This is the entry point for the reconciliation engine,
+    which needs all three views of every footprint it considers.
+    Zero- and one-update sequences — the bulk of a fine-grained workload —
+    short-circuit without tracing at all.
+    """
+    if not isinstance(updates, (list, tuple)):
+        updates = list(updates)
+    if not updates:
+        return _EMPTY_RESULT
+    if len(updates) == 1:
+        return _single_update_result(schema, updates[0])
+    chains = _trace(schema, updates)
+    read = frozenset(
+        chain.first_key for chain in chains if chain.first_read is not None
+    )
+    touched: Set[QualifiedKey] = set()
+    for chain in chains:
+        touched.update(chain.touched)
+    return FlattenResult(
+        operations=tuple(_net_of_chains(schema, chains)),
+        keys_read=read,
+        keys_touched=frozenset(touched),
+    )
+
+
+_EMPTY_RESULT = FlattenResult(
+    operations=(), keys_read=frozenset(), keys_touched=frozenset()
+)
 
 
 def flatten(schema: Schema, updates: Iterable[Update]) -> List[Update]:
@@ -258,14 +385,11 @@ def flatten(schema: Schema, updates: Iterable[Update]) -> List[Update]:
     Raises :class:`FlattenError` if the sequence is internally inconsistent
     (e.g. it deletes a row that the chain state shows is not present).
     """
-    nets = [
-        update
-        for chain in _trace(schema, updates)
-        if (update := _net_update(chain)) is not None
-    ]
-    nets = _minimise(schema, nets)
-    nets.sort(key=lambda u: _sort_key(schema, u))
-    return nets
+    if not isinstance(updates, (list, tuple)):
+        updates = list(updates)
+    if len(updates) <= 1:
+        return list(updates)  # a lone update is always its own net effect
+    return _net_of_chains(schema, _trace(schema, updates))
 
 
 def flatten_transactions(schema: Schema, transactions: Iterable) -> List[Update]:

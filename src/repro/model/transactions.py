@@ -28,10 +28,31 @@ class TransactionId:
     Ordering is lexicographic on ``(participant, sequence)``, matching the
     paper's assumption that identifiers are assigned in increasing order at
     each participant.
+
+    Transaction ids live in every hot set and dict of the reconciliation
+    engine, so the hash is precomputed at construction.
     """
+
+    __slots__ = ("participant", "sequence", "_hash")
 
     participant: int
     sequence: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.participant, self.sequence))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __getstate__(self):
+        return (self.participant, self.sequence)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "participant", state[0])
+        object.__setattr__(self, "sequence", state[1])
+        object.__setattr__(self, "_hash", hash(state))
 
     def __str__(self) -> str:
         return f"X{self.participant}:{self.sequence}"

@@ -34,9 +34,34 @@ from repro.model.schema import Schema
 from repro.model.tuples import QualifiedKey
 
 
+class _SlottedFrozen:
+    """Pickle support for frozen, ``__slots__``-carrying update classes.
+
+    The default slot pickling path assigns attributes with ``setattr``,
+    which a frozen dataclass forbids; route restoration through
+    ``object.__setattr__`` instead.  The per-schema key memo is transient
+    and is not serialised.
+    """
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_keys_memo" and hasattr(self, slot)
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
+
 @dataclass(frozen=True)
-class Insert:
+class Insert(_SlottedFrozen):
     """Insert ``row`` into ``relation``; published by participant ``origin``."""
+
+    __slots__ = ("relation", "row", "origin", "_keys_memo")
 
     relation: str
     row: Tuple
@@ -51,17 +76,27 @@ class Insert:
         return None
 
     def keys_touched(self, schema: Schema) -> Tuple[QualifiedKey, ...]:
-        """Qualified keys this update reads or writes."""
+        """Qualified keys this update reads or writes (memoized)."""
+        try:  # inline memo fast path: this runs millions of times
+            memo = self._keys_memo
+            if memo[0] is schema:
+                return memo[1]
+        except AttributeError:
+            pass
         rel = schema.relation(self.relation)
-        return ((self.relation, rel.key_of(self.row)),)
+        keys = ((self.relation, rel.key_of(self.row)),)
+        object.__setattr__(self, "_keys_memo", (schema, keys))
+        return keys
 
     def __str__(self) -> str:
         return f"+{self.relation}({', '.join(map(str, self.row))}; {self.origin})"
 
 
 @dataclass(frozen=True)
-class Delete:
+class Delete(_SlottedFrozen):
     """Delete ``row`` from ``relation``; published by participant ``origin``."""
+
+    __slots__ = ("relation", "row", "origin", "_keys_memo")
 
     relation: str
     row: Tuple
@@ -76,21 +111,31 @@ class Delete:
         return self.row
 
     def keys_touched(self, schema: Schema) -> Tuple[QualifiedKey, ...]:
-        """Qualified keys this update reads or writes."""
+        """Qualified keys this update reads or writes (memoized)."""
+        try:  # inline memo fast path: this runs millions of times
+            memo = self._keys_memo
+            if memo[0] is schema:
+                return memo[1]
+        except AttributeError:
+            pass
         rel = schema.relation(self.relation)
-        return ((self.relation, rel.key_of(self.row)),)
+        keys = ((self.relation, rel.key_of(self.row)),)
+        object.__setattr__(self, "_keys_memo", (schema, keys))
+        return keys
 
     def __str__(self) -> str:
         return f"-{self.relation}({', '.join(map(str, self.row))}; {self.origin})"
 
 
 @dataclass(frozen=True)
-class Modify:
+class Modify(_SlottedFrozen):
     """Replace ``old_row`` with ``new_row`` in ``relation``.
 
     The paper calls this a *replacement*: ``R(a -> a'; i)``.  The source and
     target rows may have different key values (a key-changing replacement).
     """
+
+    __slots__ = ("relation", "old_row", "new_row", "origin", "_keys_memo")
 
     relation: str
     old_row: Tuple
@@ -113,13 +158,23 @@ class Modify:
         return self.old_row
 
     def keys_touched(self, schema: Schema) -> Tuple[QualifiedKey, ...]:
-        """Qualified keys this update reads or writes."""
+        """Qualified keys this update reads or writes (memoized).
+
+        The source key comes first; a key-changing replacement appends the
+        target key.  (:func:`updates_conflict` relies on this order.)
+        """
+        try:  # inline memo fast path: this runs millions of times
+            memo = self._keys_memo
+            if memo[0] is schema:
+                return memo[1]
+        except AttributeError:
+            pass
         rel = schema.relation(self.relation)
         old_key = (self.relation, rel.key_of(self.old_row))
         new_key = (self.relation, rel.key_of(self.new_row))
-        if old_key == new_key:
-            return (old_key,)
-        return (old_key, new_key)
+        keys = (old_key,) if old_key == new_key else (old_key, new_key)
+        object.__setattr__(self, "_keys_memo", (schema, keys))
+        return keys
 
     def __str__(self) -> str:
         old = ", ".join(map(str, self.old_row))
@@ -131,29 +186,6 @@ class Modify:
 Update = Union[Insert, Delete, Modify]
 
 
-def _written_key(schema: Schema, update: Update) -> Optional[QualifiedKey]:
-    row = update.written_row()
-    if row is None:
-        return None
-    rel = schema.relation(update.relation)
-    return (update.relation, rel.key_of(row))
-
-
-def _deleted_key(schema: Schema, update: Update) -> Optional[QualifiedKey]:
-    if not isinstance(update, Delete):
-        return None
-    rel = schema.relation(update.relation)
-    return (update.relation, rel.key_of(update.row))
-
-
-def _source_key(schema: Schema, update: Update) -> Optional[QualifiedKey]:
-    row = update.read_row()
-    if row is None:
-        return None
-    rel = schema.relation(update.relation)
-    return (update.relation, rel.key_of(row))
-
-
 def updates_conflict(schema: Schema, left: Update, right: Update) -> bool:
     """Return True if the two updates conflict under the paper's definition.
 
@@ -161,46 +193,51 @@ def updates_conflict(schema: Schema, left: Update, right: Update) -> bool:
     conflict directly (they may still be jointly incompatible with an
     instance through foreign keys; that is checked against the instance,
     not pairwise).
+
+    This predicate runs millions of times per reconciliation epoch (it is
+    the innermost comparison of hash-based conflict detection), so each
+    update's qualified keys are fetched once from the ``keys_touched``
+    memo and the case analysis uses direct ``type`` dispatch.
     """
     if left.relation != right.relation:
         return False
-    if left == right:
-        return False
+    left_type = type(left)
+    right_type = type(right)
+    left_keys = left.keys_touched(schema)
+    right_keys = right.keys_touched(schema)
 
-    # Case 1: two insertions of the same key with different rows.
-    if isinstance(left, Insert) and isinstance(right, Insert):
-        same_key = _written_key(schema, left) == _written_key(schema, right)
-        return same_key and left.row != right.row
+    # Case 1 + the generalised write/write collision (module docstring):
+    # two updates leaving different rows under the same key cannot both
+    # be applied.  (Subsumes "two insertions of the same key with
+    # different rows".)
+    if left_type is not Delete and right_type is not Delete:
+        if left_keys[-1] == right_keys[-1]:  # written (target) keys
+            if left.written_row() != right.written_row():
+                return True
 
-    # Case 2: a deletion against an insertion or replacement of the same key.
-    for deletion, other in ((left, right), (right, left)):
-        if not isinstance(deletion, Delete):
+    # Case 2: a deletion against an insertion or replacement of the same
+    # key (or a second deletion of a different row version).
+    for deletion, other, del_keys, other_keys, other_type in (
+        (left, right, left_keys, right_keys, right_type),
+        (right, left, right_keys, left_keys, left_type),
+    ):
+        if type(deletion) is not Delete:
             continue
-        del_key = _deleted_key(schema, deletion)
-        if isinstance(other, Insert):
-            if _written_key(schema, other) == del_key:
+        del_key = del_keys[0]
+        if other_type is Insert:
+            if other_keys[-1] == del_key:
                 return True
-        elif isinstance(other, Modify):
-            if _source_key(schema, other) == del_key:
+        elif other_type is Modify:
+            if other_keys[0] == del_key:
                 return True
-        elif isinstance(other, Delete):
-            # Two deletions of the same key but different rows consume
-            # incompatible versions of the tuple.
-            if del_key == _deleted_key(schema, other) and deletion.row != other.row:
+        else:  # both deletions: different rows of one key are incompatible
+            if del_key == other_keys[0] and deletion.row != other.row:
                 return True
-        if isinstance(other, Delete):
-            break  # both are deletions; avoid re-checking symmetrically
+            break  # symmetric; no need to re-check the swapped order
 
     # Case 3: two replacements of the same source tuple to different values.
-    if isinstance(left, Modify) and isinstance(right, Modify):
+    if left_type is Modify and right_type is Modify:
         if left.old_row == right.old_row and left.new_row != right.new_row:
-            return True
-
-    # Generalised write/write collision (see module docstring): two updates
-    # that leave different rows under the same key cannot both be applied.
-    left_written = _written_key(schema, left)
-    if left_written is not None and left_written == _written_key(schema, right):
-        if left.written_row() != right.written_row():
             return True
 
     return False

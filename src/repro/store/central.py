@@ -131,6 +131,10 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA_SQL)
         self._policies: Dict[int, TrustPolicy] = {}
+        # Per-participant applied-set versions for the network-centric
+        # caches.  Held in memory only: a fresh store object starts at
+        # version 0 with empty caches, which is trivially consistent.
+        self._applied_versions: Dict[int, int] = {}
 
     def close(self) -> None:
         """Close the sqlite connection."""
@@ -284,6 +288,7 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
             " VALUES (?, ?, 'applied')",
             (participant, ord_),
         )
+        self._bump_applied_version(participant)
 
     def _producer_lookup(self, transaction: Transaction):
         """A mapping view good enough for ``compute_antecedents``."""
@@ -368,11 +373,16 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
             )
 
         self._charge_call()
-        return ReconciliationBatch(
+        batch = ReconciliationBatch(
             recno=recon_epoch,
             roots=sorted(roots, key=lambda r: r.order),
             graph=graph,
         )
+        # Derived data riding along with the closure transactions: the
+        # flattened context-free extensions, computed once per published
+        # transaction for the whole confederation (see the mixin).
+        self.ship_context_free_extensions(batch)
+        return batch
 
     def complete_reconciliation(
         self, participant: int, result: ReconcileResult
@@ -385,7 +395,14 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
                 self._record_decision(participant, tid, "rejected")
             for tid in result.deferred:
                 self._record_decision(participant, tid, "deferred")
+        if result.applied:
+            self._bump_applied_version(participant)
         self._charge_call()
+
+    def _bump_applied_version(self, participant: int) -> None:
+        self._applied_versions[participant] = (
+            self._applied_versions.get(participant, 0) + 1
+        )
 
     def _record_decision(
         self, participant: int, tid: TransactionId, verdict: str
@@ -461,6 +478,9 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
         return {
             self._tid_of(o) for o in self._decided_ords(participant, "applied")
         }
+
+    def _nc_applied_version(self, participant: int) -> int:
+        return self._applied_versions.get(participant, 0)
 
     def _nc_lookup(self, tid: TransactionId):
         ord_ = self._ord_of(tid)

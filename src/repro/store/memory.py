@@ -53,6 +53,8 @@ class _ParticipantRecord:
     policy: TrustPolicy
     last_recon_epoch: int = 0
     applied: Set[TransactionId] = field(default_factory=set)
+    #: Bumped whenever ``applied`` grows; versions the store-side caches.
+    applied_version: int = 0
     rejected: Set[TransactionId] = field(default_factory=set)
     deferred: Set[TransactionId] = field(default_factory=set)
 
@@ -152,6 +154,8 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
             self._by_epoch[epoch].append(transaction.tid)
             register_producers(self._producers, transaction)
             record.applied.add(transaction.tid)
+        if transactions:
+            record.applied_version += 1
         self.perf.charge(2, self._message_latency)
 
     def finish_publish(self, participant: int, epoch: int) -> None:
@@ -202,11 +206,16 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
 
         record.last_recon_epoch = recon_epoch
         self.perf.charge(2, self._message_latency)
-        return ReconciliationBatch(
+        batch = ReconciliationBatch(
             recno=recon_epoch,
             roots=sorted(roots, key=lambda r: r.order),
             graph=graph,
         )
+        # Derived data riding along with the closure transactions: the
+        # flattened context-free extensions, computed once per published
+        # transaction for the whole confederation (see the mixin).
+        self.ship_context_free_extensions(batch)
+        return batch
 
     # ------------------------------------------------------------------
 
@@ -215,12 +224,15 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
     ) -> None:
         """Record decisions; see the base class."""
         record = self._record_of(participant)
+        applied_before = len(record.applied)
         for tid in result.applied:
             # One verdict per transaction: applied supersedes earlier
             # rejections (the engine's "applied wins" rule).
             record.applied.add(tid)
             record.deferred.discard(tid)
             record.rejected.discard(tid)
+        if len(record.applied) != applied_before:
+            record.applied_version += 1
         for tid in result.rejected:
             record.rejected.add(tid)
             record.deferred.discard(tid)
@@ -278,6 +290,9 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
 
     def _nc_applied_tids(self, participant: int):
         return set(self._record_of(participant).applied)
+
+    def _nc_applied_version(self, participant: int) -> int:
+        return self._record_of(participant).applied_version
 
     def _nc_lookup(self, tid: TransactionId):
         try:

@@ -24,11 +24,15 @@ engine remains future work there and here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.cache import ConflictCache, ExtensionCache
 from repro.core.extensions import (
     ReconciliationBatch,
     RelevantTransaction,
+    TransactionGraph,
+    UpdateExtension,
     compute_update_extension,
 )
 from repro.core.conflicts import find_conflicts
@@ -40,18 +44,29 @@ from repro.store.logic import antecedent_closure
 class NetworkCentricMixin:
     """Store-side precomputation of extensions and conflicts.
 
-    Concrete stores provide three accessors over their log:
+    Concrete stores provide four accessors over their log:
 
     * ``_nc_deferred_tids(participant)`` — the participant's deferred
       transaction ids;
     * ``_nc_applied_tids(participant)`` — its applied transaction ids;
+    * ``_nc_applied_version(participant)`` — a monotone counter bumped
+      whenever that applied set grows (drives cache invalidation);
     * ``_nc_lookup(tid)`` — ``(transaction, antecedents, order)``.
+
+    Precomputation reuses the same :mod:`repro.core.cache` machinery as
+    the client engine, held per participant: a deferred transaction's
+    extension — and every conflict pair untouched by new publications —
+    depends only on the applied set, so it is computed once per change
+    rather than once per reconciliation.
     """
 
     def _nc_deferred_tids(self, participant: int) -> List[TransactionId]:
         raise NotImplementedError
 
     def _nc_applied_tids(self, participant: int) -> Set[TransactionId]:
+        raise NotImplementedError
+
+    def _nc_applied_version(self, participant: int) -> int:
         raise NotImplementedError
 
     def _nc_lookup(
@@ -61,6 +76,119 @@ class NetworkCentricMixin:
 
     def _nc_priority(self, participant: int, transaction: Transaction) -> int:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Per-participant store-side caches (lazily created: the mixin has no
+    # __init__ of its own to avoid perturbing store construction chains).
+
+    def _nc_extension_cache(self, participant: int) -> ExtensionCache:
+        caches = getattr(self, "_nc_ext_caches", None)
+        if caches is None:
+            caches = self._nc_ext_caches = {}
+        if participant not in caches:
+            caches[participant] = ExtensionCache()
+        return caches[participant]
+
+    def _nc_conflict_cache(self, participant: int) -> ConflictCache:
+        caches = getattr(self, "_nc_pair_caches", None)
+        if caches is None:
+            caches = self._nc_pair_caches = {}
+        if participant not in caches:
+            caches[participant] = ConflictCache(
+                stats=self._nc_extension_cache(participant).stats
+            )
+        return caches[participant]
+
+    # ------------------------------------------------------------------
+    # Context-free extensions: computed once per published transaction,
+    # shared by every participant.
+
+    #: Capacity of the confederation-shared memos (context-free
+    #: extensions and pair points).  Eviction is FIFO and merely costs a
+    #: recomputation on the next miss, so the cap bounds store memory at
+    #: O(recent history) without affecting correctness.
+    SHARED_MEMO_LIMIT = 8192
+
+    @staticmethod
+    def _evict_fifo(memo: Dict, limit: int) -> None:
+        while len(memo) > limit:
+            memo.pop(next(iter(memo)))
+
+    def context_free_extension(
+        self, root: RelevantTransaction
+    ) -> Optional[UpdateExtension]:
+        """The root's update extension against an *empty* applied set.
+
+        A transaction's full antecedent closure — and hence its flattened
+        extension with no applied-set filtering — is fixed at publish
+        time, so the store derives it exactly once for the whole
+        confederation (the memo is keyed by transaction id, never
+        invalidated, and FIFO-capped at :attr:`SHARED_MEMO_LIMIT`
+        entries).  A participant whose applied set is disjoint from
+        the closure can adopt it as-is: the closure walk stops only at
+        applied transactions, so removing stops that are never reached
+        changes nothing.  Returns None when the footprint does not
+        flatten (the engine rejects such roots locally).
+        """
+        memo = getattr(self, "_nc_context_free", None)
+        if memo is None:
+            memo = self._nc_context_free = {}
+        tid = root.tid
+        if tid in memo:
+            return memo[tid]
+        graph = TransactionGraph()
+        for member in antecedent_closure(
+            lambda t: self._nc_lookup(t)[1], [tid], stop=frozenset()
+        ):
+            transaction, antecedents, order = self._nc_lookup(member)
+            graph.add(transaction, antecedents, order)
+        try:
+            extension = compute_update_extension(
+                self.schema, graph, root, frozenset()
+            )
+        except FlattenError:
+            extension = None
+        memo[tid] = extension
+        self._evict_fifo(memo, self.SHARED_MEMO_LIMIT)
+        return extension
+
+    def shared_pair_cache(self) -> ConflictCache:
+        """One confederation-wide memo of pairwise conflict points.
+
+        Direct-conflict points are a pure function of the two compared
+        extension objects, and every participant receives the *same*
+        context-free extension objects (from the store's memo), so the
+        first participant to compare a pair serves all the others.  The
+        cache validates entries by object identity on both sides, so a
+        participant holding a locally recomputed extension simply misses
+        and compares as before.
+        """
+        cache = getattr(self, "_nc_shared_pairs", None)
+        if cache is None:
+            cache = self._nc_shared_pairs = ConflictCache(
+                limit=self.SHARED_MEMO_LIMIT
+            )
+        return cache
+
+    def ship_context_free_extensions(
+        self, batch: ReconciliationBatch
+    ) -> None:
+        """Attach precomputed context-free extensions to a batch.
+
+        Done for every reconciliation batch (client-centric included):
+        the payload is derived data — the batch already carries the
+        closure transactions themselves — so it costs no extra store
+        messages, and it saves each reconciling participant from
+        re-deriving the identical flattened footprint locally.  The
+        shared pair-point memo rides along for the same reason.
+        """
+        shipped = {
+            root.tid: extension
+            for root in batch.roots
+            if (extension := self.context_free_extension(root)) is not None
+        }
+        batch.extensions = shipped or None
+        batch.pair_cache = self.shared_pair_cache()
 
     # ------------------------------------------------------------------
 
@@ -92,24 +220,55 @@ class NetworkCentricMixin:
                 batch.graph.add(member_txn, member_antes, member_order)
         batch.roots.sort(key=lambda root: root.order)
 
+        ext_cache = self._nc_extension_cache(participant)
+        pair_cache = self._nc_conflict_cache(participant)
+        version = self._nc_applied_version(participant)
         extensions = {}
         for root in batch.roots:
-            try:
-                extensions[root.tid] = compute_update_extension(
-                    self.schema, batch.graph, root, applied
-                )
-            except FlattenError:
-                # Leave it out; the client's fallback recomputation will
-                # reach the same FlattenError and reject the root.
-                continue
-        conflicts = find_conflicts(self.schema, batch.graph, extensions)
+            extension = ext_cache.lookup(
+                root.tid, version, applied, root.priority
+            )
+            if extension is None:
+                # Work that only depends on the applied set is shared:
+                # a context-free extension valid for this participant is
+                # adopted instead of recomputing per participant.
+                shared = self.context_free_extension(root)
+                if shared is not None and shared.member_set().isdisjoint(
+                    applied
+                ):
+                    if shared.priority != root.priority:
+                        shared = replace(shared, priority=root.priority)
+                    extension = shared
+                    ext_cache.stats.shipped += 1
+                    ext_cache.store(root.tid, version, extension)
+            if extension is None:
+                try:
+                    extension = compute_update_extension(
+                        self.schema, batch.graph, root, applied
+                    )
+                except FlattenError:
+                    # Leave it out; the client's fallback recomputation
+                    # will reach the same FlattenError and reject the
+                    # root.
+                    continue
+                ext_cache.stats.misses += 1
+                ext_cache.store(root.tid, version, extension)
+            extensions[root.tid] = extension
+        analysis = find_conflicts(
+            self.schema, batch.graph, extensions, cache=pair_cache
+        )
         batch.extensions = extensions
-        batch.conflicts = conflicts
+        batch.conflicts = analysis.adjacency
+
+        # Deferred roots reappear in the next round's batch; anything else
+        # is decided by then, so cap both caches at this round's roots.
+        ext_cache.prune(extensions)
+        pair_cache.prune(extensions)
 
         # Communication: shipping the precomputed structures costs
         # messages proportional to their size (one fragment per flattened
         # update, plus one per conflict edge).
         shipped = sum(len(ext.operations) for ext in extensions.values())
-        shipped += sum(len(adj) for adj in conflicts.values()) // 2
+        shipped += sum(len(adj) for adj in batch.conflicts.values()) // 2
         self.perf.charge(2 + shipped, self.message_latency)
         return batch

@@ -119,7 +119,7 @@ class TestFindConflicts:
         extensions = {
             txn.tid: extension_of(schema, builder, txn) for txn in (a, b, c)
         }
-        conflicts = find_conflicts(schema, builder.graph, extensions)
+        conflicts = find_conflicts(schema, builder.graph, extensions).adjacency
         assert conflicts[a.tid] == {b.tid}
         assert conflicts[b.tid] == {a.tid}
         assert conflicts[c.tid] == set()
@@ -134,7 +134,7 @@ class TestFindConflicts:
             base.tid: extension_of(schema, builder, base),
             revision.tid: extension_of(schema, builder, revision),
         }
-        conflicts = find_conflicts(schema, builder.graph, extensions)
+        conflicts = find_conflicts(schema, builder.graph, extensions).adjacency
         assert conflicts[base.tid] == set()
         assert conflicts[revision.tid] == set()
 

@@ -178,3 +178,86 @@ class TestReadTracking:
             ("F", ("mouse", "prot2")),
             ("F", ("mouse", "prot3")),
         }
+
+
+class TestFlattenOnce:
+    """The single-pass FlattenResult view (one trace for all three sets)."""
+
+    def test_matches_three_call_derivation(self, schema):
+        from repro.model.flatten import flatten_once
+
+        sequence = [
+            Insert("F", RAT1, 3),
+            Modify("F", RAT1, RAT1_IMMUNE, 3),
+            Insert("F", MOUSE2, 3),
+            Delete("F", MOUSE2, 3),
+        ]
+        result = flatten_once(schema, sequence)
+        assert list(result.operations) == flatten(schema, sequence)
+        assert result.keys_read == keys_read(schema, sequence)
+        assert result.keys_touched == keys_touched(schema, sequence)
+
+    def test_single_trace(self, schema):
+        from repro.model.flatten import flatten_once, trace_runs
+
+        sequence = [Insert("F", RAT1, 3), Modify("F", RAT1, RAT1_IMMUNE, 3)]
+        before = trace_runs()
+        flatten_once(schema, sequence)
+        assert trace_runs() == before + 1
+
+    def test_single_update_sequences_skip_the_trace(self, schema):
+        from repro.model.flatten import flatten_once, trace_runs
+
+        before = trace_runs()
+        result = flatten_once(schema, [Insert("F", RAT1, 3)])
+        empty = flatten_once(schema, [])
+        assert trace_runs() == before  # fast path: no tracer at all
+        assert list(result.operations) == [Insert("F", RAT1, 3)]
+        assert result.keys_read == frozenset()
+        assert result.keys_touched == {("F", ("rat", "prot1"))}
+        assert empty.operations == ()
+
+    def test_cyclic_rename_chain(self, schema):
+        """Two rows swap keys through a temporary key: the net effect is
+        the two replacements, and the temporary key still shows up in
+        keys_touched (dirty-value deferral cares about it)."""
+        from repro.model.flatten import flatten_once
+
+        a = ("rat", "prot1", "fn-a")
+        b = ("rat", "prot2", "fn-b")
+        a_at_tmp = ("rat", "tmp", "fn-a")
+        a_at_2 = ("rat", "prot2", "fn-a")
+        b_at_1 = ("rat", "prot1", "fn-b")
+        sequence = [
+            Modify("F", a, a_at_tmp, 3),
+            Modify("F", b, b_at_1, 3),
+            Modify("F", a_at_tmp, a_at_2, 3),
+        ]
+        result = flatten_once(schema, sequence)
+        assert set(result.operations) == {
+            Modify("F", a, a_at_2, 3),
+            Modify("F", b, b_at_1, 3),
+        }
+        assert ("F", ("rat", "tmp")) in result.keys_touched
+        assert result.keys_read == {
+            ("F", ("rat", "prot1")),
+            ("F", ("rat", "prot2")),
+        }
+
+    def test_full_cycle_rename_flattens_to_nothing(self, schema):
+        """A rename cycle that returns every row home nets out empty, but
+        every key it passed through is still reported as touched."""
+        from repro.model.flatten import flatten_once
+
+        a = ("rat", "prot1", "fn-a")
+        a_tmp = ("rat", "tmp", "fn-a")
+        sequence = [
+            Modify("F", a, a_tmp, 3),
+            Modify("F", a_tmp, a, 3),
+        ]
+        result = flatten_once(schema, sequence)
+        assert list(result.operations) == []
+        assert result.keys_touched == {
+            ("F", ("rat", "prot1")),
+            ("F", ("rat", "tmp")),
+        }

@@ -136,3 +136,87 @@ def _invert(update):
     if isinstance(update, Delete):
         return Insert("R", update.row, update.origin)
     return Modify("R", update.new_row, update.old_row, update.origin)
+
+
+# ----------------------------------------------------------------------
+# Single-pass flattening (FlattenResult) against the legacy three-call
+# derivation and against a reference fixpoint minimiser.
+
+
+def _reference_minimise(schema, nets):
+    """The seed's O(n²)-restart fixpoint minimiser, kept as an oracle."""
+    from repro.model.flatten import _compose_pair, _reader_at, _writer_at
+
+    updates = list(nets)
+    changed = True
+    while changed:
+        changed = False
+        readers = {}
+        writers = {}
+        for update in updates:
+            read_key = _reader_at(schema, update)
+            if read_key is not None:
+                readers[read_key] = update
+            write_key = _writer_at(schema, update)
+            if write_key is not None:
+                writers[write_key] = update
+        for key, reader in readers.items():
+            writer = writers.get(key)
+            if writer is None or writer is reader:
+                continue
+            replacement = _compose_pair(reader, writer)
+            if replacement is None:
+                continue
+            updates = [u for u in updates if u is not reader and u is not writer]
+            updates.extend(replacement)
+            changed = True
+            break
+    return updates
+
+
+def _reference_flatten(schema, updates):
+    from repro.model.flatten import _net_update, _sort_key, _trace
+
+    nets = [
+        update
+        for chain in _trace(schema, updates)
+        if (update := _net_update(chain)) is not None
+    ]
+    nets = _reference_minimise(schema, nets)
+    nets.sort(key=lambda u: _sort_key(schema, u))
+    return nets
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_worklist_minimise_matches_reference_fixpoint(case):
+    _initial, updates = case
+    assert flatten(PROP_SCHEMA, updates) == _reference_flatten(
+        PROP_SCHEMA, updates
+    )
+
+
+@given(valid_update_sequences())
+@settings(max_examples=200)
+def test_flatten_once_matches_the_three_call_derivation(case):
+    from repro.model.flatten import flatten_once
+
+    _initial, updates = case
+    result = flatten_once(PROP_SCHEMA, updates)
+    assert list(result.operations) == flatten(PROP_SCHEMA, updates)
+    assert result.keys_read == keys_read(PROP_SCHEMA, updates)
+    assert result.keys_touched == keys_touched(PROP_SCHEMA, updates)
+
+
+@given(valid_update_sequences())
+@settings(max_examples=100)
+def test_flatten_once_traces_at_most_once(case):
+    from repro.model.flatten import flatten_once, trace_runs
+
+    _initial, updates = case
+    before = trace_runs()
+    flatten_once(PROP_SCHEMA, updates)
+    # One chain trace for real sequences; zero- and one-update sequences
+    # short-circuit without tracing at all.
+    expected = 1 if len(updates) > 1 else 0
+    assert trace_runs() == before + expected
