@@ -8,23 +8,24 @@ time an old antecedent reappears in a new chain, inflating traffic.
 
 from __future__ import annotations
 
-from repro.cdss import Simulation, SimulationConfig
-from repro.store import DhtUpdateStore
-from repro.workload import WorkloadConfig, curated_schema
+from repro.confed import Confederation, ConfederationConfig
+from repro.workload import WorkloadConfig
 
 from benchmarks.conftest import emit
 
 
 def run(cache_bodies: bool) -> int:
-    store = DhtUpdateStore(curated_schema(), hosts=8, cache_bodies=cache_bodies)
-    config = SimulationConfig(
-        participants=8,
+    config = ConfederationConfig(
+        store="dht",
+        store_options={"hosts": 8, "cache_bodies": cache_bodies},
+        peers=tuple(range(1, 9)),
         reconciliation_interval=2,
         rounds=6,
         workload=WorkloadConfig(transaction_size=1, insert_fraction=0.3, seed=21),
     )
-    Simulation(config, store=store).run()
-    return store.perf.messages
+    with Confederation.from_config(config) as confederation:
+        confederation.run()
+        return confederation.store.perf.messages
 
 
 def test_ablation_body_cache_reduces_messages(benchmark):

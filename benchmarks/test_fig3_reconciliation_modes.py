@@ -9,27 +9,21 @@ identical decisions.
 
 from __future__ import annotations
 
-from repro.cdss import CDSS
-from repro.policy import TrustPolicy
-from repro.store import MemoryUpdateStore
-from repro.workload import WorkloadConfig, WorkloadGenerator, curated_schema
+from repro.confed import Confederation, ConfederationConfig
+from repro.workload import WorkloadConfig, WorkloadGenerator
 
 from benchmarks.conftest import emit
 
 
 def run_mode(network_centric: bool):
-    store = MemoryUpdateStore(curated_schema())
-    cdss = CDSS(store)
-    peer_ids = list(range(1, 9))
-    participants = []
-    for pid in peer_ids:
-        policy = TrustPolicy()
-        for other in peer_ids:
-            if other != pid:
-                policy.trust_participant(other, 1)
-        participant = cdss.add_participant(pid, policy)
-        participant.network_centric = network_centric
-        participants.append(participant)
+    config = ConfederationConfig(
+        store="memory",
+        peers=tuple(range(1, 9)),
+        network_centric=network_centric,
+    )
+    confederation = Confederation.from_config(config)
+    store = confederation.store
+    participants = confederation.participants
 
     generator = WorkloadGenerator(WorkloadConfig(transaction_size=2, seed=5))
     for _round in range(4):

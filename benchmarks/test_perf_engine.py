@@ -45,8 +45,7 @@ import repro.core.engine as engine_module
 #: ``repro.model``'s package attribute ``flatten`` is the *function* (it
 #: shadows the submodule), so resolve the module through importlib.
 flatten_module = importlib.import_module("repro.model.flatten")
-from repro.cdss.simulation import Simulation, SimulationConfig
-from repro.cdss.system import CDSS
+from repro.confed import Confederation, ConfederationConfig
 from repro.core.conflicts import (
     ConflictGroup,
     Option,
@@ -58,12 +57,9 @@ from repro.core.extensions import UpdateExtension, update_footprint
 from repro.model.flatten import flatten, keys_touched
 from repro.model.transactions import TransactionId
 from repro.model.updates import Delete, Insert, Modify
-from repro.store.central import CentralUpdateStore
-from repro.store.memory import MemoryUpdateStore
 from repro.workload.generator import (
     WorkloadConfig,
     WorkloadGenerator,
-    curated_schema,
 )
 
 from benchmarks.conftest import emit
@@ -198,16 +194,17 @@ def _seed_tid_hash(self):
 
 
 def _fig12_run(engine_caching: bool):
-    config = SimulationConfig(
-        participants=PEERS,
+    config = ConfederationConfig(
+        store="central",
+        peers=tuple(range(1, PEERS + 1)),
         reconciliation_interval=INTERVAL,
         rounds=ROUNDS,
         workload=WorkloadConfig(transaction_size=1, seed=SEED),
         final_reconcile=True,
         engine_caching=engine_caching,
     )
-    store = CentralUpdateStore(curated_schema())
-    return Simulation(config, store=store).run()
+    with Confederation.from_config(config) as confederation:
+        return confederation.run()
 
 
 def _run_cached():
@@ -292,13 +289,17 @@ def test_perf_engine_cached_vs_seed_path(benchmark, monkeypatch):
 
 def _capture_decision_log(engine_caching: bool, seed: int = 1234):
     """Run a randomized 8-peer simulation recording every decision."""
-    store = MemoryUpdateStore(curated_schema())
-    cdss = CDSS(store, engine_caching=engine_caching)
+    confederation = Confederation.from_config(
+        ConfederationConfig(
+            store="memory",
+            peers=tuple(range(1, 9)),
+            engine_caching=engine_caching,
+        )
+    )
     generator = WorkloadGenerator(WorkloadConfig(transaction_size=2, seed=seed))
-    cdss.add_mutually_trusting_participants(list(range(1, 9)))
     log = []
     for _round in range(3):
-        for participant in cdss.participants:
+        for participant in confederation.participants:
             for _ in range(3):
                 updates = generator.transaction_updates(
                     participant.id, participant.instance
@@ -324,7 +325,9 @@ def _capture_decision_log(engine_caching: bool, seed: int = 1234):
                     ),
                 )
             )
-    snapshots = {p.id: p.instance.snapshot() for p in cdss.participants}
+    snapshots = {
+        p.id: p.instance.snapshot() for p in confederation.participants
+    }
     return log, snapshots
 
 

@@ -15,8 +15,8 @@ from __future__ import annotations
 import sys
 from collections import Counter
 
-from repro.cdss import Simulation, SimulationConfig
-from repro.metrics import divergence_by_key
+from repro.confed import Confederation, ConfederationConfig
+from repro.metrics import StateRatioProbe, divergence_by_key
 from repro.workload import WorkloadConfig
 
 
@@ -25,8 +25,9 @@ def main() -> None:
     interval = int(sys.argv[2]) if len(sys.argv) > 2 else 4
     rounds = int(sys.argv[3]) if len(sys.argv) > 3 else 4
 
-    config = SimulationConfig(
-        participants=peers,
+    config = ConfederationConfig(
+        store="memory",
+        peers=tuple(range(1, peers + 1)),
         reconciliation_interval=interval,
         rounds=rounds,
         workload=WorkloadConfig(transaction_size=2, seed=7),
@@ -35,15 +36,29 @@ def main() -> None:
         f"Simulating {peers} curators, reconciling every {interval} "
         f"transactions, for {rounds} rounds..."
     )
-    simulation = Simulation(config)
-    report = simulation.run()
+    confederation = Confederation.from_config(config)
+    # The state-ratio metric as a hook subscriber: one sample per
+    # reconciliation gives the convergence trajectory for free.
+    probe = StateRatioProbe(
+        lambda: {p.id: p.instance for p in confederation.participants},
+        relation="F",
+    ).attach(confederation.hooks)
+    report = confederation.run()
 
     print(f"\nTransactions published : {report.transactions_published}")
     print(f"Store messages         : {report.store_messages}")
     print(f"State ratio (F)        : {report.state_ratio:.3f}")
 
+    # The probe sampled after every reconciliation: show how agreement
+    # evolved over the run (first, middle, and final samples).
+    samples = probe.samples
+    if len(samples) >= 3:
+        picks = [samples[0], samples[len(samples) // 2], samples[-1]]
+        trail = " -> ".join(f"{ratio:.2f}" for _recno, ratio in picks)
+        print(f"State-ratio trajectory : {trail}")
+
     # How divergent is each protein?  (1 = everyone agrees.)
-    instances = {p.id: p.instance for p in simulation.cdss.participants}
+    instances = {p.id: p.instance for p in confederation.participants}
     distribution = Counter(
         divergence_by_key(instances, relation="F").values()
     )
@@ -62,7 +77,7 @@ def main() -> None:
 
     # Every participant's conflicts are visible for resolution:
     open_groups = sum(
-        len(p.open_conflicts()) for p in simulation.cdss.participants
+        len(p.open_conflicts()) for p in confederation.participants
     )
     print(f"\nOpen conflict groups across all peers: {open_groups}")
 

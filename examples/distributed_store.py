@@ -13,17 +13,21 @@ Run with:  python examples/distributed_store.py
 
 from __future__ import annotations
 
-from repro.cdss import CDSS
+from repro.confed import Confederation, ConfederationConfig
 from repro.model import Insert, Modify
-from repro.store import DhtUpdateStore
-from repro.workload import curated_schema
+from repro.store import store_capabilities
 
 
 def main() -> None:
-    schema = curated_schema()
-    store = DhtUpdateStore(schema, hosts=6)
-    cdss = CDSS(store)
-    p1, p2, p3 = cdss.add_mutually_trusting_participants([1, 2, 3])
+    # The DHT backend by registry name; its honest capability flags show
+    # why clients compute everything locally on this store.
+    print(f"dht capabilities: {store_capabilities('dht').as_dict()}")
+    config = ConfederationConfig(
+        store="dht", store_options={"hosts": 6}, peers=(1, 2, 3)
+    )
+    confed = Confederation.from_config(config)
+    store = confed.store
+    p1, p2, p3 = confed.participants
 
     # p1 curates a protein with a follow-up correction.
     p1.execute([Insert("F", ("rat", "prot1", "glucose metabolism"), 1)])
@@ -94,8 +98,8 @@ def main() -> None:
 
     # p2 catches up on p3's revision; now everyone agrees.
     p2.publish_and_reconcile()
-    print(f"\nAfter p2 catches up, state ratio = {cdss.state_ratio():.2f}")
-    assert cdss.state_ratio() == 1.0
+    print(f"\nAfter p2 catches up, state ratio = {confed.state_ratio():.2f}")
+    assert confed.state_ratio() == 1.0
 
 
 if __name__ == "__main__":

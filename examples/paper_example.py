@@ -17,7 +17,7 @@ Run with:  python examples/paper_example.py
 
 from __future__ import annotations
 
-from repro.cdss import CDSS
+from repro.confed import Confederation, ConfederationConfig
 from repro.model import (
     AttributeDef,
     Insert,
@@ -25,8 +25,6 @@ from repro.model import (
     RelationSchema,
     Schema,
 )
-from repro.policy import policy_from_priorities
-from repro.store import MemoryUpdateStore
 
 
 def show(label: str, participant) -> None:
@@ -48,12 +46,19 @@ def main() -> None:
             )
         ]
     )
-    cdss = CDSS(MemoryUpdateStore(schema))
-
-    # The acceptance rules of Figure 1.
-    p1 = cdss.add_participant(1, policy_from_priorities([(2, 1), (3, 1)]))
-    p2 = cdss.add_participant(2, policy_from_priorities([(1, 2), (3, 1)]))
-    p3 = cdss.add_participant(3, policy_from_priorities([(2, 1)]))
+    # The acceptance rules of Figure 1, written declaratively: the
+    # ``trust`` mapping gives each peer its per-origin priorities.
+    config = ConfederationConfig(
+        store="memory",
+        peers=(1, 2, 3),
+        trust={
+            1: {2: 1, 3: 1},
+            2: {1: 2, 3: 1},
+            3: {2: 1},
+        },
+    )
+    confed = Confederation.from_config(config, schema=schema)
+    p1, p2, p3 = confed.participants
 
     # Epoch 1: p3 inserts the rat tuple and immediately revises it
     # (X3:0 and X3:1), then publishes and reconciles.

@@ -2,25 +2,29 @@
 """Quickstart: a three-peer collaborative data sharing system.
 
 Builds the smallest interesting CDSS — three bioinformatics curators
-sharing a protein-function table — and walks through local edits,
-publication, reconciliation, tolerated disagreement, and conflict
-resolution.
+sharing a protein-function table — with the unified confederation API:
+a declarative :class:`ConfederationConfig` (store backend by registry
+name, peers, trust), the :class:`Confederation` facade as a context
+manager, and the event hook bus observing every decision.  Then walks
+through local edits, publication, reconciliation, tolerated
+disagreement, and conflict resolution.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.cdss import CDSS
-from repro.core import Resolution
-from repro.model import (
+from repro import (
     AttributeDef,
+    Confederation,
+    ConfederationConfig,
     Insert,
     Modify,
     RelationSchema,
+    Resolution,
     Schema,
+    available_stores,
 )
-from repro.store import MemoryUpdateStore
 
 
 def main() -> None:
@@ -39,55 +43,84 @@ def main() -> None:
         ]
     )
 
-    # 2. An update store plus three participants who trust each other
-    #    equally (priority 1) — conflicts will need manual resolution.
-    cdss = CDSS(MemoryUpdateStore(schema))
-    alice, bob, carol = cdss.add_mutually_trusting_participants([1, 2, 3])
+    # 2. One declarative config: the store backend is picked by name from
+    #    the driver registry, and three peers trust each other equally
+    #    (priority 1) — conflicts will need manual resolution.
+    print(f"Registered store backends: {', '.join(available_stores())}")
+    config = ConfederationConfig(store="memory", peers=(1, 2, 3))
 
-    # 3. Alice curates a protein and shares her work.
-    alice.execute([Insert("F", ("rat", "prot1", "cell-metabolism"), alice.id)])
-    alice.execute(
-        [
-            Modify(
-                "F",
-                ("rat", "prot1", "cell-metabolism"),
-                ("rat", "prot1", "immune-response"),
-                alice.id,
+    with Confederation.from_config(config, schema=schema) as confed:
+        alice, bob, carol = confed.participants
+
+        # 3. Observability is a hook subscription, not engine plumbing:
+        #    log every verdict any peer reaches.
+        confed.hooks.on_decision(
+            lambda participant, tid, decision, **_: print(
+                f"    [hook] p{participant} decided {tid}: {decision}"
             )
-        ]
-    )
-    alice.publish_and_reconcile()
-    print("Alice's instance:", sorted(alice.instance.rows("F")))
+        )
 
-    # 4. Bob, who had independently curated the same protein differently,
-    #    publishes his version and reconciles.  He keeps his own value —
-    #    Alice's conflicting chain is rejected for *him*, but both
-    #    versions coexist in the system: this is tolerated disagreement.
-    bob.execute([Insert("F", ("rat", "prot1", "cell-respiration"), bob.id)])
-    result = bob.publish_and_reconcile()
-    print(f"Bob reconciled: {result.summary()}")
-    print("Bob's instance:  ", sorted(bob.instance.rows("F")))
-    print(f"State ratio across peers: {cdss.state_ratio():.2f}")
+        # 4. Alice curates a protein and shares her work.
+        alice.execute(
+            [Insert("F", ("rat", "prot1", "cell-metabolism"), alice.id)]
+        )
+        alice.execute(
+            [
+                Modify(
+                    "F",
+                    ("rat", "prot1", "cell-metabolism"),
+                    ("rat", "prot1", "immune-response"),
+                    alice.id,
+                )
+            ]
+        )
+        alice.publish_and_reconcile()
+        print("Alice's instance:", sorted(alice.instance.rows("F")))
 
-    # 5. Carol trusts both equally, so she cannot pick a winner: the
-    #    conflicting transactions are deferred into a conflict group.
-    result = carol.publish_and_reconcile()
-    print(f"Carol reconciled: {result.summary()}")
-    for group in carol.open_conflicts():
-        print("Carol's open conflict:")
-        print(group.describe())
+        # 5. Bob, who had independently curated the same protein
+        #    differently, publishes his version and reconciles.  He keeps
+        #    his own value — Alice's conflicting chain is rejected for
+        #    *him*, but both versions coexist in the system: this is
+        #    tolerated disagreement.
+        bob.execute([Insert("F", ("rat", "prot1", "cell-respiration"), bob.id)])
+        result = bob.publish_and_reconcile()
+        print(f"Bob reconciled: {result.summary()}")
+        print("Bob's instance:  ", sorted(bob.instance.rows("F")))
+        print(f"State ratio across peers: {confed.state_ratio():.2f}")
 
-    # 6. Carol resolves the conflict by hand, picking Alice's version.
-    [group] = carol.open_conflicts()
-    chosen = next(
-        index
-        for index, option in enumerate(group.options)
-        if option.effect == ("rat", "prot1", "immune-response")
-    )
-    result = carol.resolve([Resolution(group.group_id, chosen)])
-    print(f"Carol resolved:  {result.summary()}")
-    print("Carol's instance:", sorted(carol.instance.rows("F")))
-    print(f"Final state ratio: {cdss.state_ratio():.2f}")
+        # 6. Carol trusts both equally, so she cannot pick a winner: the
+        #    conflicting transactions are deferred into a conflict group.
+        result = carol.publish_and_reconcile()
+        print(f"Carol reconciled: {result.summary()}")
+        for group in carol.open_conflicts():
+            print("Carol's open conflict:")
+            print(group.describe())
+
+        # 7. Carol resolves the conflict by hand, picking Alice's version.
+        [group] = carol.open_conflicts()
+        chosen = next(
+            index
+            for index, option in enumerate(group.options)
+            if option.effect == ("rat", "prot1", "immune-response")
+        )
+        result = carol.resolve([Resolution(group.group_id, chosen)])
+        print(f"Carol resolved:  {result.summary()}")
+        print("Carol's instance:", sorted(carol.instance.rows("F")))
+        print(f"Final state ratio: {confed.state_ratio():.2f}")
+
+        # 8. The store remembers everything: a participant is
+        #    reconstructible from its decisions alone (Section 5.2).
+        snapshot = confed.snapshot()[carol.id]
+        print(
+            f"Store knows p{carol.id}: {len(snapshot.applied)} applied, "
+            f"{len(snapshot.rejected)} rejected, "
+            f"{len(snapshot.deferred)} deferred"
+        )
+        restored = confed.restore(carol.id)
+        assert sorted(restored.instance.rows("F")) == sorted(
+            carol.instance.rows("F")
+        )
+        print("Carol restored from the store: instance matches.")
 
 
 if __name__ == "__main__":

@@ -14,16 +14,9 @@ Run with:  python examples/trust_hierarchy.py
 
 from __future__ import annotations
 
-from repro.cdss import CDSS
-from repro.model import (
-    AttributeDef,
-    Insert,
-    Modify,
-    RelationSchema,
-    Schema,
-)
+from repro.confed import Confederation, ConfederationConfig
+from repro.model import AttributeDef, Insert, RelationSchema, Schema
 from repro.policy import TrustPolicy, attribute_equals, origin_is, both
-from repro.store import MemoryUpdateStore
 
 SWISSPROT, GENBANK, LAB = 1, 2, 3
 
@@ -42,11 +35,15 @@ def main() -> None:
             )
         ]
     )
-    cdss = CDSS(MemoryUpdateStore(schema))
+    # Content-based rules go beyond the declarative ``trust`` mapping, so
+    # this confederation starts with no configured peers and registers
+    # each participant with an explicit policy.
+    confed = Confederation(ConfederationConfig(store="memory"), schema=schema)
+    confed.open()
 
     # The archives don't import from anyone in this scenario.
-    swissprot = cdss.add_participant(SWISSPROT, TrustPolicy())
-    genbank = cdss.add_participant(GENBANK, TrustPolicy())
+    swissprot = confed.add_participant(SWISSPROT, TrustPolicy())
+    genbank = confed.add_participant(GENBANK, TrustPolicy())
 
     # The lab: SWISS-PROT at priority 3, GenBank at priority 1 — except
     # that the lab collaborates directly with GenBank's zebrafish curators
@@ -64,7 +61,7 @@ def main() -> None:
             5,
         )
     )
-    lab = cdss.add_participant(LAB, lab_policy)
+    lab = confed.add_participant(LAB, lab_policy)
 
     # Both archives publish conflicting curation for the same protein.
     genbank.execute([Insert("F", ("rat", "prot7", "transport"), GENBANK)])

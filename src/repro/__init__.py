@@ -9,10 +9,33 @@ reconciliation algorithm with deferral and conflict resolution, a central
 store, the paper's synthetic SWISS-PROT workload generator, and the state
 ratio / timing metrics of the evaluation section.
 
+The public API is the **unified confederation layer** (:mod:`repro.confed`):
+
+* :class:`ConfederationConfig` — declarative, dict-round-trippable
+  configuration naming the store backend, instance backend, peers,
+  trust policies, workload, and engine knobs in one place;
+* :class:`Confederation` — the facade built from it: participant
+  lifecycle (``open``/``close``, context-manager support),
+  ``snapshot``/``restore`` soft-state reconstruction, the evaluation
+  schedule, and metric reports;
+* the **store driver registry** (:mod:`repro.store.registry`) —
+  backends selected by name (``memory``, ``central``, ``dht``) with
+  honest :class:`StoreCapabilities` flags the engine consults instead
+  of type checks; :func:`register_store` adds new backends without
+  engine changes;
+* the **event hook bus** (:class:`HookBus`) — ``on_publish``,
+  ``on_epoch_start``, ``on_decision``, ``on_conflict``,
+  ``on_cache_stats``, ``on_reconcile``; the timing and cache metrics
+  are ordinary subscribers (:mod:`repro.metrics.subscribers`).
+
+The legacy ``CDSS`` / ``Simulation`` entry points remain as thin
+deprecation shims delegating to :class:`Confederation`.
+
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
 
 from repro.errors import (
+    ConfigError,
     ConstraintViolation,
     FlattenError,
     NetworkError,
@@ -50,6 +73,13 @@ from repro.cdss import (
     Simulation,
     SimulationConfig,
 )
+from repro.confed import (
+    Confederation,
+    ConfederationConfig,
+    ConfederationReport,
+    HookBus,
+    ParticipantSnapshot,
+)
 from repro.core import (
     Decision,
     ParticipantState,
@@ -72,7 +102,12 @@ from repro.store import (
     CentralUpdateStore,
     DhtUpdateStore,
     MemoryUpdateStore,
+    StoreCapabilities,
     UpdateStore,
+    available_stores,
+    create_store,
+    register_store,
+    store_capabilities,
 )
 from repro.workload import (
     WorkloadConfig,
@@ -80,18 +115,23 @@ from repro.workload import (
     curated_schema,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "AcceptanceRule",
     "CDSS",
     "CentralUpdateStore",
+    "Confederation",
+    "ConfederationConfig",
+    "ConfederationReport",
     "Decision",
     "DhtUpdateStore",
+    "HookBus",
     "Instance",
     "MemoryInstance",
     "MemoryUpdateStore",
     "Participant",
+    "ParticipantSnapshot",
     "ParticipantState",
     "ReconcileResult",
     "Reconciler",
@@ -99,18 +139,24 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "SqliteInstance",
+    "StoreCapabilities",
     "TrustPolicy",
     "UpdateStore",
     "WorkloadConfig",
     "WorkloadGenerator",
     "always",
     "attribute_equals",
+    "available_stores",
+    "create_store",
     "curated_schema",
     "origin_is",
     "policy_from_priorities",
+    "register_store",
     "resolve_conflicts",
     "state_ratio",
+    "store_capabilities",
     "AttributeDef",
+    "ConfigError",
     "ConstraintViolation",
     "Delete",
     "FlattenError",

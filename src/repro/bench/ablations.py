@@ -13,7 +13,7 @@ way it is:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from repro.core.conflicts import directly_conflict
 from repro.core.extensions import (

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cdss.simulation import Simulation, SimulationConfig
+from repro.confed import Confederation, ConfederationConfig
 from repro.store.base import UpdateStore
 from repro.store.central import CentralUpdateStore
 from repro.store.dht import DhtUpdateStore
@@ -40,14 +40,15 @@ def _run(
     store: Optional[UpdateStore] = None,
     final_reconcile: bool = False,
 ):
-    config = SimulationConfig(
-        participants=participants,
+    config = ConfederationConfig(
+        peers=tuple(range(1, participants + 1)),
+        workload=WorkloadConfig(transaction_size=transaction_size, seed=seed),
         reconciliation_interval=interval,
         rounds=rounds,
-        workload=WorkloadConfig(transaction_size=transaction_size, seed=seed),
         final_reconcile=final_reconcile,
     )
-    return Simulation(config, store=store).run()
+    with Confederation(config, store=store) as confederation:
+        return confederation.run()
 
 
 # ----------------------------------------------------------------------

@@ -3,11 +3,14 @@
 * :class:`repro.cdss.participant.Participant` — one autonomous peer: a
   local instance, a trust policy, a reconciler, and the publish /
   reconcile / resolve lifecycle of Definition 1;
-* :class:`repro.cdss.system.CDSS` — a confederation of participants over
-  one update store;
-* :class:`repro.cdss.simulation.Simulation` — the evaluation-section
-  driver: seeded workload, round-robin publish-and-reconcile epochs,
-  metric collection.
+* :class:`repro.cdss.system.CDSS` — **deprecated** shim over
+  :class:`repro.confed.Confederation`;
+* :class:`repro.cdss.simulation.Simulation` — **deprecated** shim over
+  :meth:`repro.confed.Confederation.run`.
+
+New code should use :mod:`repro.confed`: a declarative
+:class:`~repro.confed.config.ConfederationConfig` plus the
+:class:`~repro.confed.confederation.Confederation` facade.
 """
 
 from repro.cdss.participant import Participant, ReconcileTiming

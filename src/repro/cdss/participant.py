@@ -16,15 +16,14 @@ and 12.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.cache import ExtensionCache
 from repro.core.decisions import ReconcileResult
 from repro.core.engine import Reconciler
 from repro.core.resolution import Resolution, resolve_conflicts
 from repro.core.state import ParticipantState
-from repro.errors import StoreError
 from repro.instance.base import Instance
 from repro.instance.memory import MemoryInstance
 from repro.model.transactions import Transaction, TransactionId
@@ -60,6 +59,7 @@ class Participant:
         network_centric: bool = False,
         register: bool = True,
         engine_caching: bool = True,
+        hooks: Optional[object] = None,
     ) -> None:
         """``network_centric=True`` delegates extension computation and
         conflict detection to the store (Figure 3's network-centric mode);
@@ -67,11 +67,15 @@ class Participant:
         ``register=False`` re-attaches to an existing registration (used by
         :meth:`rebuild`).  ``engine_caching=False`` disables the engine's
         extension/conflict caches (every epoch recomputes from scratch —
-        the perf benchmark's baseline)."""
+        the perf benchmark's baseline).  ``hooks`` is an optional event
+        bus (:class:`repro.confed.hooks.HookBus`, duck-typed to keep this
+        module free of upward imports); publication and reconciliation
+        emit lifecycle events into it."""
         self.id = participant_id
         self.store = store
         self.policy = policy
         self.network_centric = network_centric
+        self.hooks = hooks
         self.instance = instance or MemoryInstance(store.schema)
         self.state = ParticipantState(participant_id)
         self.reconciler = Reconciler(
@@ -79,6 +83,7 @@ class Participant:
             self.instance,
             self.state,
             cache=ExtensionCache(enabled=engine_caching),
+            hooks=hooks,
         )
         self.timings: List[ReconcileTiming] = []
         self._sequence = 0
@@ -96,6 +101,7 @@ class Participant:
         instance: Optional[Instance] = None,
         network_centric: bool = False,
         engine_caching: bool = True,
+        hooks: Optional[object] = None,
     ) -> "Participant":
         """Reconstruct a participant entirely from the update store.
 
@@ -118,6 +124,7 @@ class Participant:
             network_centric=network_centric,
             register=False,
             engine_caching=engine_caching,
+            hooks=hooks,
         )
         applied, rejected, deferred = store.decided_transactions(
             participant_id
@@ -199,6 +206,13 @@ class Participant:
         self._unpublished = []
         epoch = self.store.publish(self.id, transactions)
         self.state.record_applied([t.tid for t in transactions])
+        if self.hooks is not None:
+            self.hooks.emit(
+                "publish",
+                participant=self.id,
+                epoch=epoch,
+                transactions=tuple(transactions),
+            )
         return epoch
 
     def reconcile(self) -> ReconcileResult:
@@ -210,6 +224,16 @@ class Participant:
         else:
             batch = self.store.begin_reconciliation(self.id)
         store_elapsed = time.perf_counter() - store_start
+        # The engine trusts the store's declared capability flags — not
+        # its concrete type — when deciding whether to adopt shipped
+        # payloads; attach them here so every store is covered.
+        if batch.capabilities is None:
+            batch.capabilities = self.store.capabilities
+
+        if self.hooks is not None:
+            self.hooks.emit(
+                "epoch_start", participant=self.id, recno=batch.recno
+            )
 
         already_deferred = set(self.state.deferred)
         local_start = time.perf_counter()
@@ -235,15 +259,22 @@ class Participant:
         store_elapsed += time.perf_counter() - store_start
 
         perf_delta = self.store.perf.minus(perf_before)
-        self.timings.append(
-            ReconcileTiming(
-                recno=result.recno,
-                store_seconds=store_elapsed + perf_delta.simulated_seconds,
-                local_seconds=local_elapsed,
-                store_messages=perf_delta.messages,
-            )
+        timing = ReconcileTiming(
+            recno=result.recno,
+            store_seconds=store_elapsed + perf_delta.simulated_seconds,
+            local_seconds=local_elapsed,
+            store_messages=perf_delta.messages,
         )
+        self.timings.append(timing)
         self._own_delta = []
+        if self.hooks is not None:
+            self.hooks.emit(
+                "reconcile",
+                participant=self.id,
+                recno=result.recno,
+                result=result,
+                timing=timing,
+            )
         return result
 
     def publish_and_reconcile(self) -> ReconcileResult:

@@ -1,36 +1,37 @@
-"""The evaluation-section driver: seeded multi-peer simulations.
+"""Deprecated: the legacy ``Simulation`` driver.
 
-Reproduces the experimental procedure of Section 6: ``n`` participants who
-all trust each other at equal priority edit their local curated databases
-(the synthetic SWISS-PROT workload), and every ``reconciliation_interval``
-transactions each publishes and reconciles.  Participants take turns in a
-fixed order, which matches the paper's global epoch ordering.
-
-The report collects the two metrics of the paper: the *state ratio* over
-the Function relation and per-participant reconciliation times split into
-store and local components.
+``Simulation`` predates the unified confederation API and remains as a
+thin shim: a :class:`SimulationConfig` maps onto a
+:class:`~repro.confed.config.ConfederationConfig` and the schedule runs
+through :meth:`repro.confed.Confederation.run`.  New code should use the
+facade directly; the experimental procedure itself (Section 6 — ``n``
+mutually trusting participants, round-robin publish-and-reconcile
+epochs, state-ratio and timing metrics) is documented there.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
 
-from repro.cdss.system import CDSS
-from repro.core.cache import CacheStats
-from repro.metrics.timing import TimingAggregate, aggregate_timings
+from repro.confed.config import ConfederationConfig
+from repro.confed.report import ConfederationReport
 from repro.store.base import UpdateStore
-from repro.store.memory import MemoryUpdateStore
-from repro.workload.generator import (
-    WorkloadConfig,
-    WorkloadGenerator,
-    curated_schema,
+from repro.workload.generator import WorkloadConfig
+
+#: The legacy report name: the facade's report, unchanged.
+SimulationReport = ConfederationReport
+
+_DEPRECATION = (
+    "Simulation is deprecated; use repro.confed.Confederation.from_config "
+    "with a ConfederationConfig and run() instead"
 )
 
 
 @dataclass
 class SimulationConfig:
-    """Parameters of one simulated experiment run.
+    """Parameters of one simulated experiment run (legacy shape).
 
     ``final_reconcile`` adds one reconcile-only pass (no publishing) at the
     end of the schedule.  The timing experiments (Figures 10 and 12) enable
@@ -47,73 +48,24 @@ class SimulationConfig:
     #: False runs every engine with caching disabled (perf baseline).
     engine_caching: bool = True
 
-
-@dataclass
-class SimulationReport:
-    """Everything a benchmark needs from one simulation run."""
-
-    config: SimulationConfig
-    state_ratio: float
-    timings: Dict[int, TimingAggregate]
-    transactions_published: int
-    store_messages: int
-    #: Engine cache counters summed over all participants.
-    cache_stats: CacheStats = field(default_factory=CacheStats)
-
-    @property
-    def mean_total_seconds_per_participant(self) -> float:
-        """Average, over participants, of their total reconciliation time."""
-        if not self.timings:
-            return 0.0
-        totals = [agg.total_seconds for agg in self.timings.values()]
-        return sum(totals) / len(totals)
-
-    @property
-    def mean_store_seconds_per_participant(self) -> float:
-        """Average total store time per participant."""
-        if not self.timings:
-            return 0.0
-        totals = [agg.total_store_seconds for agg in self.timings.values()]
-        return sum(totals) / len(totals)
-
-    @property
-    def mean_local_seconds_per_participant(self) -> float:
-        """Average total local time per participant."""
-        if not self.timings:
-            return 0.0
-        totals = [agg.total_local_seconds for agg in self.timings.values()]
-        return sum(totals) / len(totals)
-
-    @property
-    def mean_seconds_per_reconciliation(self) -> float:
-        """Average time of a single reconciliation across all peers."""
-        count = sum(agg.reconciliations for agg in self.timings.values())
-        if count == 0:
-            return 0.0
-        total = sum(agg.total_seconds for agg in self.timings.values())
-        return total / count
-
-    @property
-    def mean_store_seconds_per_reconciliation(self) -> float:
-        """Average store time of a single reconciliation."""
-        count = sum(agg.reconciliations for agg in self.timings.values())
-        if count == 0:
-            return 0.0
-        total = sum(agg.total_store_seconds for agg in self.timings.values())
-        return total / count
-
-    @property
-    def mean_local_seconds_per_reconciliation(self) -> float:
-        """Average local time of a single reconciliation."""
-        count = sum(agg.reconciliations for agg in self.timings.values())
-        if count == 0:
-            return 0.0
-        total = sum(agg.total_local_seconds for agg in self.timings.values())
-        return total / count
+    def to_confederation_config(
+        self, store: str = "memory"
+    ) -> ConfederationConfig:
+        """The equivalent declarative config: peers ``1..n``, mutual
+        trust, and this schedule."""
+        return ConfederationConfig(
+            store=store,
+            peers=tuple(range(1, self.participants + 1)),
+            workload=self.workload,
+            reconciliation_interval=self.reconciliation_interval,
+            rounds=self.rounds,
+            final_reconcile=self.final_reconcile,
+            engine_caching=self.engine_caching,
+        )
 
 
 class Simulation:
-    """One runnable experiment: a CDSS, a workload, and a schedule."""
+    """Deprecated shim: one runnable experiment over a confederation."""
 
     def __init__(
         self,
@@ -121,54 +73,30 @@ class Simulation:
         store: Optional[UpdateStore] = None,
         store_factory: Optional[Callable[[], UpdateStore]] = None,
     ) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        from repro.cdss.system import CDSS
+        from repro.confed.confederation import Confederation
+
         self.config = config or SimulationConfig()
         if store is not None and store_factory is not None:
             raise ValueError("pass either a store or a store_factory, not both")
-        if store is None:
-            factory = store_factory or (
-                lambda: MemoryUpdateStore(curated_schema())
-            )
-            store = factory()
-        self.cdss = CDSS(store, engine_caching=self.config.engine_caching)
-        self.generator = WorkloadGenerator(self.config.workload)
-        self.cdss.add_mutually_trusting_participants(
-            list(range(1, self.config.participants + 1))
-        )
-        self._transactions_published = 0
+        if store is None and store_factory is not None:
+            store = store_factory()
+        self.confederation = Confederation(
+            self.config.to_confederation_config(), store=store
+        ).open()
+        self.cdss = CDSS(_confederation=self.confederation)
+
+    @property
+    def generator(self):
+        """The workload generator driving the schedule."""
+        return self.confederation.generator
 
     def run(self) -> SimulationReport:
         """Execute the full schedule and return the report."""
-        for _round in range(self.config.rounds):
-            for participant in self.cdss.participants:
-                self._edit_and_sync(participant)
-        if self.config.final_reconcile:
-            for participant in self.cdss.participants:
-                participant.reconcile()
-        return self.report()
-
-    def _edit_and_sync(self, participant) -> None:
-        for _ in range(self.config.reconciliation_interval):
-            updates = self.generator.transaction_updates(
-                participant.id, participant.instance
-            )
-            if updates:
-                participant.execute(updates)
-                self._transactions_published += 1
-        participant.publish_and_reconcile()
+        report = self.confederation.run()
+        return replace(report, config=self.config)
 
     def report(self) -> SimulationReport:
         """Metrics of the run so far."""
-        cache_stats = CacheStats()
-        for participant in self.cdss.participants:
-            cache_stats.add(participant.reconciler.cache.stats)
-        return SimulationReport(
-            config=self.config,
-            state_ratio=self.cdss.state_ratio(relation="F"),
-            timings={
-                p.id: aggregate_timings(p.timings)
-                for p in self.cdss.participants
-            },
-            transactions_published=self._transactions_published,
-            store_messages=self.cdss.store.perf.messages,
-            cache_stats=cache_stats,
-        )
+        return replace(self.confederation.report(), config=self.config)

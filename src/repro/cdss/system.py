@@ -1,37 +1,79 @@
-"""A whole CDSS: participants sharing one schema and one update store."""
+"""Deprecated: the legacy ``CDSS`` wrapper.
+
+``CDSS`` predates the unified confederation API and remains as a thin
+shim delegating to :class:`repro.confed.Confederation`.  New code should
+build a :class:`~repro.confed.config.ConfederationConfig` and use the
+facade directly — it adds by-name store selection, lifecycle
+(``open``/``close``), ``snapshot``/``restore``, and the event hook bus.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import List, Optional, Sequence
 
 from repro.cdss.participant import Participant
-from repro.errors import StoreError
 from repro.instance.base import Instance
-from repro.metrics.state_ratio import state_ratio
 from repro.policy.acceptance import TrustPolicy
 from repro.store.base import UpdateStore
 
+_DEPRECATION = (
+    "CDSS is deprecated; use repro.confed.Confederation with a "
+    "ConfederationConfig instead"
+)
+
 
 class CDSS:
-    """A confederation of participants over one update store.
+    """Deprecated shim over :class:`repro.confed.Confederation`.
 
-    Convenience wrapper: creates participants, tracks them by id, and
-    exposes system-wide metrics (the evaluation section's *state ratio*).
+    Accepts a pre-built store exactly as before; every method delegates
+    to the facade.  One deliberate behaviour change from pre-2.0: a
+    duplicate or unknown participant id now raises
+    :class:`~repro.errors.ConfigError` (a caller error) instead of
+    :class:`~repro.errors.StoreError` — catch
+    :class:`~repro.errors.ReproError` to span both eras.
     """
 
     def __init__(
-        self, store: UpdateStore, engine_caching: bool = True
+        self,
+        store: Optional[UpdateStore] = None,
+        engine_caching: bool = True,
+        _confederation=None,
     ) -> None:
         """``engine_caching=False`` builds participants whose engines
-        recompute everything per epoch (benchmark baseline)."""
-        self.store = store
-        self.engine_caching = engine_caching
-        self._participants: Dict[int, Participant] = {}
+        recompute everything per epoch (benchmark baseline).
+        ``_confederation`` is internal: wrap an existing facade without
+        re-warning (used by the ``Simulation`` shim)."""
+        if _confederation is None:
+            warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+            from repro.confed.confederation import Confederation
+            from repro.confed.config import ConfederationConfig
+
+            _confederation = Confederation(
+                ConfederationConfig(engine_caching=engine_caching),
+                store=store,
+            ).open()
+        self._confed = _confederation
+
+    @property
+    def confederation(self):
+        """The underlying :class:`repro.confed.Confederation`."""
+        return self._confed
+
+    @property
+    def store(self) -> UpdateStore:
+        """The shared update store."""
+        return self._confed.store
+
+    @property
+    def engine_caching(self) -> bool:
+        """Whether participants are built with the incremental caches."""
+        return self._confed.config.engine_caching
 
     @property
     def schema(self):
         """The shared schema."""
-        return self.store.schema
+        return self._confed.schema
 
     def add_participant(
         self,
@@ -39,58 +81,31 @@ class CDSS:
         policy: TrustPolicy,
         instance: Optional[Instance] = None,
     ) -> Participant:
-        """Create and register a participant."""
-        if participant_id in self._participants:
-            raise StoreError(
-                f"participant {participant_id} already exists in this CDSS"
-            )
-        participant = Participant(
-            participant_id,
-            self.store,
-            policy,
-            instance,
-            engine_caching=self.engine_caching,
-        )
-        self._participants[participant_id] = participant
-        return participant
+        """Create and register a participant.
+
+        A duplicate id raises :class:`~repro.errors.ConfigError` — it is
+        a caller error, not a store fault.
+        """
+        return self._confed.add_participant(participant_id, policy, instance)
 
     def add_mutually_trusting_participants(
         self, ids: Sequence[int], priority: int = 1
     ) -> List[Participant]:
-        """The evaluation-section setup: everyone trusts everyone equally.
-
-        Equal priorities mean conflicts "must be manually rather than
-        automatically resolved" — the configuration all the paper's
-        experiments use.
-        """
-        participants = []
-        for pid in ids:
-            policy = TrustPolicy()
-            for other in ids:
-                if other != pid:
-                    policy.trust_participant(other, priority)
-            participants.append(self.add_participant(pid, policy))
-        return participants
+        """The evaluation-section setup: everyone trusts everyone equally."""
+        return self._confed.add_mutually_trusting_participants(ids, priority)
 
     def participant(self, participant_id: int) -> Participant:
         """Look up a participant by id."""
-        try:
-            return self._participants[participant_id]
-        except KeyError:
-            raise StoreError(
-                f"no participant {participant_id} in this CDSS"
-            ) from None
+        return self._confed.participant(participant_id)
 
     @property
     def participants(self) -> List[Participant]:
         """All participants, ordered by id."""
-        return [self._participants[pid] for pid in sorted(self._participants)]
+        return self._confed.participants
 
     def state_ratio(self, relation: Optional[str] = None) -> float:
         """The evaluation's state ratio across all participants."""
-        return state_ratio(
-            {p.id: p.instance for p in self.participants}, relation=relation
-        )
+        return self._confed.state_ratio(relation=relation)
 
     def __len__(self) -> int:
-        return len(self._participants)
+        return len(self._confed)

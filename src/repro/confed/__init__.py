@@ -1,0 +1,35 @@
+"""The unified confederation API: config, facade, lifecycle, hooks.
+
+This is the public entry point for building and running a CDSS:
+
+* :class:`~repro.confed.config.ConfederationConfig` — declarative,
+  dict-round-trippable configuration naming the store backend (a driver
+  registry name), instance backend, peers, trust policies, workload,
+  and engine knobs in one place;
+* :class:`~repro.confed.confederation.Confederation` — the facade built
+  from it: participant lifecycle (``open``/``close``, context-manager
+  support), ``snapshot``/``restore`` soft-state reconstruction, the
+  evaluation schedule (``run``), and metric reports;
+* :class:`~repro.confed.hooks.HookBus` — the event bus participants and
+  reconcilers emit into (``on_publish``, ``on_epoch_start``,
+  ``on_decision``, ``on_conflict``, ``on_cache_stats``,
+  ``on_reconcile``); metrics are subscribers, not engine plumbing.
+
+The legacy ``repro.cdss.CDSS`` / ``repro.cdss.Simulation`` entry points
+remain as deprecation shims delegating here.
+"""
+
+from repro.confed.config import INSTANCE_BACKENDS, ConfederationConfig
+from repro.confed.confederation import Confederation, ParticipantSnapshot
+from repro.confed.hooks import EVENTS, HookBus
+from repro.confed.report import ConfederationReport
+
+__all__ = [
+    "Confederation",
+    "ConfederationConfig",
+    "ConfederationReport",
+    "EVENTS",
+    "HookBus",
+    "INSTANCE_BACKENDS",
+    "ParticipantSnapshot",
+]

@@ -1,0 +1,165 @@
+"""Declarative confederation configuration.
+
+:class:`ConfederationConfig` names everything a confederation needs in
+one serialisable place: the store backend (a driver-registry name plus
+options), the instance backend, the peers and their trust policies, the
+synthetic workload, the engine knobs, and the evaluation schedule.  It
+round-trips through plain dicts (``from_dict(to_dict(cfg)) == cfg``) and
+the dicts are JSON-safe, so experiment configurations can live in files
+and version control instead of scattered constructor calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.workload.generator import WorkloadConfig
+
+#: Instance backends a participant's local replica can use, by name.
+INSTANCE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite")
+
+
+@dataclass
+class ConfederationConfig:
+    """Everything needed to build and run one confederation.
+
+    * ``store`` — a store-driver name from
+      :func:`repro.store.registry.available_stores`; ``store_options``
+      are passed to the driver's factory (e.g. ``path`` for the central
+      store, ``hosts`` for the DHT);
+    * ``instance_backend`` — each participant's local replica:
+      ``"memory"`` or ``"sqlite"``;
+    * ``peers`` — participant ids, in registration order;
+    * ``trust`` — explicit priorities per peer
+      (``{pid: {other_pid: priority}}``); ``None`` means the evaluation
+      section's setting: every peer trusts every other at
+      ``trust_priority``, so conflicts can only be resolved manually;
+    * ``network_centric`` / ``engine_caching`` — engine knobs (Figure
+      3's reconciliation mode; the PR 1 incremental caches);
+    * ``workload`` plus ``reconciliation_interval`` / ``rounds`` /
+      ``final_reconcile`` — the evaluation schedule
+      :meth:`repro.confed.Confederation.run` executes.
+    """
+
+    store: str = "memory"
+    store_options: Dict[str, object] = field(default_factory=dict)
+    instance_backend: str = "memory"
+    peers: Tuple[int, ...] = ()
+    trust: Optional[Dict[int, Dict[int, int]]] = None
+    trust_priority: int = 1
+    network_centric: bool = False
+    engine_caching: bool = True
+    workload: Optional[WorkloadConfig] = None
+    reconciliation_interval: int = 4
+    rounds: int = 4
+    final_reconcile: bool = False
+
+    def __post_init__(self) -> None:
+        self.peers = tuple(self.peers)
+        if self.trust is not None:
+            self.trust = {
+                int(pid): {int(other): int(pri) for other, pri in edges.items()}
+                for pid, edges in self.trust.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Validation
+
+    def validate(self) -> "ConfederationConfig":
+        """Check internal consistency; returns self.
+
+        Store-name resolution is validated where the store is built
+        (the registry raises :class:`~repro.errors.ConfigError` for
+        unknown backends); this checks everything that does not need
+        the registry.
+        """
+        if self.instance_backend not in INSTANCE_BACKENDS:
+            raise ConfigError(
+                f"unknown instance backend {self.instance_backend!r}; "
+                f"available: {', '.join(INSTANCE_BACKENDS)}"
+            )
+        if len(set(self.peers)) != len(self.peers):
+            raise ConfigError(f"duplicate peer ids in {self.peers!r}")
+        if self.trust is not None:
+            known = set(self.peers)
+            for pid, edges in self.trust.items():
+                unknown = ({pid} | set(edges)) - known
+                if unknown:
+                    raise ConfigError(
+                        f"trust policy references unknown peers {sorted(unknown)}"
+                    )
+        if self.reconciliation_interval < 0:
+            raise ConfigError("reconciliation_interval must be >= 0")
+        if self.rounds < 0:
+            raise ConfigError("rounds must be >= 0")
+        return self
+
+    # ------------------------------------------------------------------
+    # Dict round-trip
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain, JSON-safe dict representation.
+
+        Mapping keys become strings (JSON objects only have string
+        keys); :meth:`from_dict` converts them back, so the round trip
+        — including a ``json.dumps``/``json.loads`` detour — is exact.
+        """
+        return {
+            "store": self.store,
+            "store_options": dict(self.store_options),
+            "instance_backend": self.instance_backend,
+            "peers": list(self.peers),
+            "trust": None
+            if self.trust is None
+            else {
+                str(pid): {str(other): pri for other, pri in edges.items()}
+                for pid, edges in self.trust.items()
+            },
+            "trust_priority": self.trust_priority,
+            "network_centric": self.network_centric,
+            "engine_caching": self.engine_caching,
+            "workload": None if self.workload is None else asdict(self.workload),
+            "reconciliation_interval": self.reconciliation_interval,
+            "rounds": self.rounds,
+            "final_reconcile": self.final_reconcile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ConfederationConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.errors.ConfigError` — a typo
+        in a config file must not silently fall back to a default.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown config keys {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if kwargs.get("peers") is not None:
+            kwargs["peers"] = tuple(int(pid) for pid in kwargs["peers"])
+        workload = kwargs.get("workload")
+        if isinstance(workload, Mapping):
+            workload_fields = {f.name for f in fields(WorkloadConfig)}
+            unknown = set(workload) - workload_fields
+            if unknown:
+                raise ConfigError(
+                    f"unknown workload keys {sorted(unknown)}; "
+                    f"known: {sorted(workload_fields)}"
+                )
+            kwargs["workload"] = WorkloadConfig(**workload)
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+
+    @classmethod
+    def evaluation(
+        cls, participants: int = 10, **overrides
+    ) -> "ConfederationConfig":
+        """The evaluation-section shape: peers ``1..n``, mutual trust."""
+        return cls(peers=tuple(range(1, participants + 1)), **overrides)

@@ -1,0 +1,86 @@
+"""The metrics report of one confederation run.
+
+Carries the two metrics of the paper's evaluation section — the *state
+ratio* and per-participant reconciliation timings split into store and
+local components — plus the engine cache counters.  The timing and
+cache data are gathered by hook-bus subscribers
+(:mod:`repro.metrics.subscribers`), not by reaching into participant
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.cache import CacheStats
+from repro.metrics.timing import TimingAggregate
+
+
+@dataclass
+class ConfederationReport:
+    """Everything a benchmark needs from one confederation run.
+
+    ``config`` is whatever configuration object drove the run (a
+    :class:`~repro.confed.config.ConfederationConfig`, or the legacy
+    ``SimulationConfig`` when produced through the deprecated shim).
+    """
+
+    config: object
+    state_ratio: float
+    timings: Dict[int, TimingAggregate]
+    transactions_published: int
+    store_messages: int
+    #: Engine cache counters summed over all participants.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def mean_total_seconds_per_participant(self) -> float:
+        """Average, over participants, of their total reconciliation time."""
+        if not self.timings:
+            return 0.0
+        totals = [agg.total_seconds for agg in self.timings.values()]
+        return sum(totals) / len(totals)
+
+    @property
+    def mean_store_seconds_per_participant(self) -> float:
+        """Average total store time per participant."""
+        if not self.timings:
+            return 0.0
+        totals = [agg.total_store_seconds for agg in self.timings.values()]
+        return sum(totals) / len(totals)
+
+    @property
+    def mean_local_seconds_per_participant(self) -> float:
+        """Average total local time per participant."""
+        if not self.timings:
+            return 0.0
+        totals = [agg.total_local_seconds for agg in self.timings.values()]
+        return sum(totals) / len(totals)
+
+    @property
+    def mean_seconds_per_reconciliation(self) -> float:
+        """Average time of a single reconciliation across all peers."""
+        count = sum(agg.reconciliations for agg in self.timings.values())
+        if count == 0:
+            return 0.0
+        total = sum(agg.total_seconds for agg in self.timings.values())
+        return total / count
+
+    @property
+    def mean_store_seconds_per_reconciliation(self) -> float:
+        """Average store time of a single reconciliation."""
+        count = sum(agg.reconciliations for agg in self.timings.values())
+        if count == 0:
+            return 0.0
+        total = sum(agg.total_store_seconds for agg in self.timings.values())
+        return total / count
+
+    @property
+    def mean_local_seconds_per_reconciliation(self) -> float:
+        """Average local time of a single reconciliation."""
+        count = sum(agg.reconciliations for agg in self.timings.values())
+        if count == 0:
+            return 0.0
+        total = sum(agg.total_local_seconds for agg in self.timings.values())
+        return total / count

@@ -12,7 +12,7 @@ paper uses to introduce the problem.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import UpdateError
 from repro.instance.base import Instance

@@ -18,13 +18,13 @@ can later resolve each conflict by picking at most one option per group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.model.flatten import flatten
 from repro.model.schema import Schema
 from repro.model.transactions import TransactionId
 from repro.model.tuples import QualifiedKey
-from repro.model.updates import Delete, Insert, Modify, Update, updates_conflict
+from repro.model.updates import Delete, Insert, Update, updates_conflict
 
 from repro.core.cache import CacheStats, ConflictCache
 from repro.core.extensions import TransactionGraph, UpdateExtension, update_footprint

@@ -68,7 +68,7 @@ counter deltas are exposed on :attr:`ReconcileResult.cache_stats`.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConstraintViolation, FlattenError
 from repro.instance.base import Instance
@@ -101,13 +101,19 @@ class Reconciler:
         instance: Instance,
         state: ParticipantState,
         cache: Optional[ExtensionCache] = None,
+        hooks: Optional[object] = None,
     ) -> None:
         """``cache`` defaults to a fresh enabled :class:`ExtensionCache`;
         pass ``ExtensionCache(enabled=False)`` to run every epoch from
-        scratch (the benchmark's uncached baseline)."""
+        scratch (the benchmark's uncached baseline).  ``hooks`` is an
+        optional event bus (:class:`repro.confed.hooks.HookBus`, duck-
+        typed to keep the engine free of upward imports); when present
+        the engine emits ``decision``, ``conflict``, and ``cache_stats``
+        events at the end of every reconciliation."""
         self._schema = schema
         self._instance = instance
         self._state = state
+        self._hooks = hooks
         self._cache = cache if cache is not None else ExtensionCache()
         self._conflict_index = IncrementalConflictIndex(
             enabled=self._cache.enabled, stats=self._cache.stats
@@ -175,10 +181,22 @@ class Reconciler:
         # per published transaction); one is adopted when this
         # participant's applied set is disjoint from its closure — the
         # condition under which it equals the locally computed extension.
+        # The serving store's declared capabilities decide whether its
+        # shipped payloads are eligible at all (absent flags — batches
+        # built by hand in tests — are permissive).
+        capabilities = batch.capabilities
+        ships_context_free = capabilities is None or getattr(
+            capabilities, "ships_context_free", True
+        )
+        shares_pair_memo = capabilities is None or getattr(
+            capabilities, "shared_pair_memo", True
+        )
         precomputed = batch.extensions if batch.network_centric else None
         shipped = (
             batch.extensions
-            if batch.extensions is not None and not batch.network_centric
+            if batch.extensions is not None
+            and not batch.network_centric
+            and ships_context_free
             else None
         )
         for root in roots:
@@ -235,7 +253,9 @@ class Reconciler:
         # incremental index restricts the pairwise work to pairs involving
         # at least one extension that changed since the previous epoch.
         self._shared_pairs = (
-            batch.pair_cache if self._cache.enabled else None
+            batch.pair_cache
+            if self._cache.enabled and shares_pair_memo
+            else None
         )
         if batch.network_centric and set(batch.conflicts) >= set(extensions):
             adjacency = batch.conflicts
@@ -287,7 +307,52 @@ class Reconciler:
         result.cache_stats = self._cache.stats.minus(stats_before)
 
         state.last_recno = batch.recno
+        self._emit_events(roots, decision, result)
         return result
+
+    def _emit_events(
+        self,
+        roots: Sequence[RelevantTransaction],
+        decision: Dict[TransactionId, Decision],
+        result: ReconcileResult,
+    ) -> None:
+        """Emit per-run events onto the hook bus, if one is attached.
+
+        Ordering is deterministic: one ``decision`` event per root in
+        publish order, then one ``conflict`` event per open conflict
+        group (stable group order), then a single ``cache_stats`` event
+        with this run's counter delta.
+        """
+        hooks = self._hooks
+        if hooks is None:
+            return
+        state = self._state
+        if hooks.has("decision"):
+            for root in sorted(roots, key=lambda r: r.order):
+                verdict = decision.get(root.tid)
+                if verdict is None:
+                    continue
+                hooks.emit(
+                    "decision",
+                    participant=state.participant,
+                    recno=result.recno,
+                    tid=root.tid,
+                    decision=verdict,
+                )
+        if hooks.has("conflict"):
+            for group in state.open_conflicts():
+                hooks.emit(
+                    "conflict",
+                    participant=state.participant,
+                    recno=result.recno,
+                    group=group,
+                )
+        hooks.emit(
+            "cache_stats",
+            participant=state.participant,
+            recno=result.recno,
+            stats=result.cache_stats,
+        )
 
     # ------------------------------------------------------------------
     # Step 1: roots

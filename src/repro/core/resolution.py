@@ -19,7 +19,7 @@ transactions are reconsidered immediately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ResolutionError
 from repro.model.transactions import TransactionId

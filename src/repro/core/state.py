@@ -18,8 +18,8 @@ each reconciling peer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.model.transactions import TransactionId
 from repro.model.tuples import QualifiedKey

@@ -31,6 +31,16 @@ class PolicyError(ReproError):
     """A trust policy or acceptance rule is malformed."""
 
 
+class ConfigError(ReproError):
+    """A confederation, registry, or participant configuration is invalid.
+
+    Raised for *caller* mistakes — an unknown store backend name, a
+    duplicate participant id, a malformed :class:`ConfederationConfig` —
+    as opposed to :class:`StoreError`, which signals store I/O and
+    protocol faults.
+    """
+
+
 class StoreError(ReproError):
     """The update store rejected or could not complete an operation."""
 

@@ -1,10 +1,23 @@
-"""Metrics of the evaluation section: state ratio and timing breakdowns."""
+"""Metrics of the evaluation section: state ratio and timing breakdowns.
+
+The collectors in :mod:`repro.metrics.subscribers` gather these same
+metrics as hook-bus subscribers — the confederation's reports are built
+from them rather than from participant internals.
+"""
 
 from repro.metrics.state_ratio import divergence_by_key, state_ratio
+from repro.metrics.subscribers import (
+    CacheStatsCollector,
+    StateRatioProbe,
+    TimingCollector,
+)
 from repro.metrics.timing import TimingAggregate, aggregate_timings
 
 __all__ = [
+    "CacheStatsCollector",
+    "StateRatioProbe",
     "TimingAggregate",
+    "TimingCollector",
     "aggregate_timings",
     "divergence_by_key",
     "state_ratio",

@@ -14,7 +14,7 @@ a state, and average over keys.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.instance.base import Instance
 from repro.model.tuples import QualifiedKey

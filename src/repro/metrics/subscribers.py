@@ -1,0 +1,107 @@
+"""Metric collectors as hook-bus subscribers.
+
+The evaluation metrics used to be gathered by reaching into participant
+internals (``participant.timings``, ``participant.reconciler.cache``).
+These collectors gather the same data by subscribing to the
+confederation's event bus (:class:`repro.confed.hooks.HookBus`) — the
+one observability surface — so adding a metric never means threading a
+new counter through the engine.
+
+Each collector's ``attach(bus)`` subscribes it and returns it, so wiring
+reads as one expression::
+
+    timing = TimingCollector().attach(confederation.hooks)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.cache import CacheStats
+from repro.metrics.state_ratio import state_ratio
+from repro.metrics.timing import TimingAggregate, aggregate_timings
+
+
+class TimingCollector:
+    """Collects every :class:`~repro.cdss.participant.ReconcileTiming`.
+
+    Subscribes to ``reconcile`` events; one record per reconciliation
+    per participant, exactly what ``participant.timings`` accumulates —
+    but gathered at the bus, so it works across any set of participants
+    sharing one confederation.
+    """
+
+    def __init__(self) -> None:
+        self.timings: Dict[int, List] = {}
+
+    def attach(self, bus) -> "TimingCollector":
+        """Subscribe to ``bus`` and return self."""
+        bus.on_reconcile(self)
+        return self
+
+    def __call__(self, *, participant: int, timing, **_ignored) -> None:
+        self.timings.setdefault(participant, []).append(timing)
+
+    def aggregate(self) -> Dict[int, TimingAggregate]:
+        """Per-participant timing aggregates."""
+        return {
+            participant: aggregate_timings(records)
+            for participant, records in self.timings.items()
+        }
+
+
+class CacheStatsCollector:
+    """Sums the engine's per-run cache counter deltas.
+
+    Subscribes to ``cache_stats`` events; the sum over a run equals the
+    participants' cumulative counters because the engine emits exactly
+    one delta per reconciliation.
+    """
+
+    def __init__(self) -> None:
+        self.total = CacheStats()
+
+    def attach(self, bus) -> "CacheStatsCollector":
+        """Subscribe to ``bus`` and return self."""
+        bus.on_cache_stats(self)
+        return self
+
+    def __call__(self, *, stats: Optional[CacheStats], **_ignored) -> None:
+        if stats is not None:
+            self.total.add(stats)
+
+
+class StateRatioProbe:
+    """Samples the state ratio after every reconciliation.
+
+    ``instances`` is a zero-argument callable returning the live
+    ``{participant_id: Instance}`` mapping (a callable, not a snapshot,
+    so the probe always sees the current replicas).  The sample series
+    is the state-ratio trajectory of the run — Figure 9/11 material —
+    where the old API only exposed the final value.
+    """
+
+    def __init__(
+        self,
+        instances: Callable[[], Mapping[int, object]],
+        relation: Optional[str] = None,
+    ) -> None:
+        self._instances = instances
+        self.relation = relation
+        #: ``(recno, state_ratio)`` samples in emission order.
+        self.samples: List[tuple] = []
+
+    def attach(self, bus) -> "StateRatioProbe":
+        """Subscribe to ``bus`` and return self."""
+        bus.on_reconcile(self)
+        return self
+
+    def __call__(self, *, recno: int, **_ignored) -> None:
+        self.samples.append(
+            (recno, state_ratio(self._instances(), relation=self.relation))
+        )
+
+    @property
+    def latest(self) -> Optional[float]:
+        """The most recent sample, or None before any reconciliation."""
+        return self.samples[-1][1] if self.samples else None

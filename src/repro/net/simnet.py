@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+from typing import Any, Deque, Dict, List
 
 from repro.errors import NetworkError
 

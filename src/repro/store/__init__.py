@@ -6,27 +6,70 @@ reconciliation batches, and records each participant's decisions so no
 transaction is delivered twice.
 
 Three implementations share the :class:`repro.store.base.UpdateStore`
-interface:
+interface and are registered in the **driver registry**
+(:mod:`repro.store.registry`) so backends are selected by name with
+honest capability flags:
 
-* :class:`repro.store.memory.MemoryUpdateStore` — plain in-process state;
-  fastest, used by the state-ratio simulations;
-* :class:`repro.store.central.CentralUpdateStore` — the paper's central
-  relational store (Section 5.2.1), here on sqlite3, with the epoch
-  begin/finish protocol and stable-epoch computation;
-* :class:`repro.store.dht.DhtUpdateStore` — the paper's distributed store
-  (Section 5.2.2), simulated over a Pastry-style ring with per-message
-  latency accounting (Figures 6-7).
+* ``memory`` — :class:`repro.store.memory.MemoryUpdateStore` — plain
+  in-process state; fastest, used by the state-ratio simulations; ships
+  context-free extensions and the shared pair memo;
+* ``central`` — :class:`repro.store.central.CentralUpdateStore` — the
+  paper's central relational store (Section 5.2.1), here on sqlite3,
+  with the epoch begin/finish protocol and stable-epoch computation;
+  durable, ships context-free extensions and the shared pair memo;
+* ``dht`` — :class:`repro.store.dht.DhtUpdateStore` — the paper's
+  distributed store (Section 5.2.2), simulated over a Pastry-style ring
+  with per-message latency accounting (Figures 6-7); clients compute
+  everything locally (``ships_context_free=False``).
+
+New backends call :func:`repro.store.registry.register_store` and become
+selectable from a :class:`repro.confed.ConfederationConfig` without any
+engine changes.
 """
 
 from repro.store.base import PerfCounters, UpdateStore
 from repro.store.central import CentralUpdateStore
 from repro.store.dht import DhtUpdateStore
 from repro.store.memory import MemoryUpdateStore
+from repro.store.registry import (
+    StoreCapabilities,
+    StoreDriver,
+    available_stores,
+    create_store,
+    register_store,
+    store_capabilities,
+    store_driver,
+    unregister_store,
+)
+
+register_store(
+    "memory",
+    lambda schema, **options: MemoryUpdateStore(schema, **options),
+    MemoryUpdateStore.capabilities,
+)
+register_store(
+    "central",
+    lambda schema, **options: CentralUpdateStore(schema, **options),
+    CentralUpdateStore.capabilities,
+)
+register_store(
+    "dht",
+    lambda schema, **options: DhtUpdateStore(schema, **options),
+    DhtUpdateStore.capabilities,
+)
 
 __all__ = [
     "CentralUpdateStore",
     "DhtUpdateStore",
     "MemoryUpdateStore",
     "PerfCounters",
+    "StoreCapabilities",
+    "StoreDriver",
     "UpdateStore",
+    "available_stores",
+    "create_store",
+    "register_store",
+    "store_capabilities",
+    "store_driver",
+    "unregister_store",
 ]

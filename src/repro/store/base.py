@@ -27,14 +27,15 @@ injected in its distributed experiments.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.decisions import ReconcileResult
 from repro.core.extensions import ReconciliationBatch
 from repro.model.schema import Schema
 from repro.model.transactions import Transaction, TransactionId
 from repro.policy.acceptance import TrustPolicy
+from repro.store.registry import StoreCapabilities
 
 #: One-way latency charged per simulated message, in seconds (paper: the
 #: distributed experiments added "a delay of at least 500 microseconds ...
@@ -68,6 +69,15 @@ class PerfCounters:
 
 class UpdateStore(abc.ABC):
     """Interface every update store implements."""
+
+    #: Honest capability flags for this backend (see
+    #: :class:`repro.store.registry.StoreCapabilities`).  The engine and
+    #: the confederation facade consult these — never the store's
+    #: concrete type — when deciding whether to adopt shipped
+    #: extensions, use the shared pair memo, or request network-centric
+    #: reconciliation.  The base default declares nothing beyond the
+    #: store contract; subclasses override.
+    capabilities: StoreCapabilities = StoreCapabilities()
 
     def __init__(
         self, schema: Schema, message_latency: float = DEFAULT_MESSAGE_LATENCY

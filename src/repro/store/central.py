@@ -41,6 +41,7 @@ from repro.policy.acceptance import TrustPolicy
 from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
 from repro.store.logic import antecedent_closure, compute_antecedents
 from repro.store.network_centric import NetworkCentricMixin
+from repro.store.registry import StoreCapabilities
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS epochs (
@@ -105,6 +106,13 @@ def _decode_row(text: Optional[str]) -> Optional[Tuple]:
 
 class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
     """Centralised update store persisted in sqlite3."""
+
+    capabilities = StoreCapabilities(
+        ships_context_free=True,
+        shared_pair_memo=True,
+        durable=True,
+        network_centric=True,
+    )
 
     #: Default simulated cost per store API call, in seconds.  The paper's
     #: central store was a commercial RDBMS on a separate server reached

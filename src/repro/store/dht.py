@@ -45,6 +45,7 @@ from repro.net.ring import HashRing
 from repro.net.simnet import Message, Network, Node
 from repro.policy.acceptance import TrustPolicy
 from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
+from repro.store.registry import StoreCapabilities
 
 #: Publish order is (epoch, index within epoch) flattened to one integer.
 _EPOCH_STRIDE = 1_000_000
@@ -391,6 +392,20 @@ class _ClientNode(Node):
 
 class DhtUpdateStore(UpdateStore):
     """Distributed update store over a simulated Pastry-style ring."""
+
+    #: Honest flags: the DHT ships no context-free extensions and no
+    #: shared pair memo (clients compute everything locally, as in the
+    #: paper's distributed implementation), is simulated in-process
+    #: (not durable), and supports client-centric reconciliation only.
+    #: Extending context-free shipping to the DHT is a ROADMAP open
+    #: item; when it lands, flipping ``ships_context_free`` here is the
+    #: only switch the engine needs.
+    capabilities = StoreCapabilities(
+        ships_context_free=False,
+        shared_pair_memo=False,
+        durable=False,
+        network_centric=False,
+    )
 
     def __init__(
         self,

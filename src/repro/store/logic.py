@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.model.transactions import Transaction, TransactionId
 

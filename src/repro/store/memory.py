@@ -13,7 +13,7 @@ are invoked during each reconciliation".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.decisions import ReconcileResult
 from repro.core.extensions import (
@@ -27,6 +27,7 @@ from repro.model.transactions import Transaction, TransactionId
 from repro.policy.acceptance import TrustPolicy
 from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
 from repro.store.network_centric import NetworkCentricMixin
+from repro.store.registry import StoreCapabilities
 from repro.store.logic import (
     ProducerIndex,
     antecedent_closure,
@@ -61,6 +62,13 @@ class _ParticipantRecord:
 
 class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
     """The reference in-process update store."""
+
+    capabilities = StoreCapabilities(
+        ships_context_free=True,
+        shared_pair_memo=True,
+        durable=False,
+        network_centric=True,
+    )
 
     def __init__(
         self, schema: Schema, message_latency: float = DEFAULT_MESSAGE_LATENCY

@@ -25,7 +25,7 @@ engine remains future work there and here.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cache import ConflictCache, ExtensionCache
 from repro.core.extensions import (
@@ -181,14 +181,26 @@ class NetworkCentricMixin:
         messages, and it saves each reconciling participant from
         re-deriving the identical flattened footprint locally.  The
         shared pair-point memo rides along for the same reason.
+
+        Both payloads are gated on the store's declared capabilities
+        (:class:`repro.store.registry.StoreCapabilities`): a backend
+        that does not advertise ``ships_context_free`` ships nothing,
+        and one without ``shared_pair_memo`` omits the pair cache —
+        keeping the declared flags and the wire behaviour in lockstep.
         """
-        shipped = {
-            root.tid: extension
-            for root in batch.roots
-            if (extension := self.context_free_extension(root)) is not None
-        }
-        batch.extensions = shipped or None
-        batch.pair_cache = self.shared_pair_cache()
+        capabilities = getattr(self, "capabilities", None)
+        if capabilities is None or capabilities.ships_context_free:
+            shipped = {
+                root.tid: extension
+                for root in batch.roots
+                if (extension := self.context_free_extension(root)) is not None
+            }
+            batch.extensions = shipped or None
+        # Independent of the extension flag: the pair memo is useful on
+        # its own (it validates by object identity, so it simply misses
+        # against locally recomputed extensions).
+        if capabilities is None or capabilities.shared_pair_memo:
+            batch.pair_cache = self.shared_pair_cache()
 
     # ------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ everyone works on the same popular proteins.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError

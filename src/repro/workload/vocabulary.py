@@ -9,7 +9,7 @@ enough for a heavy-tailed popularity distribution to matter.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.errors import WorkloadError
 

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cdss import CDSS, Participant
-from repro.errors import ConstraintViolation, StoreError
-from repro.model import Delete, Insert, Modify
+from repro.cdss import CDSS
+from repro.errors import ConfigError, ConstraintViolation
+from repro.model import Insert, Modify
 from repro.policy import TrustPolicy
 from repro.store import MemoryUpdateStore
 
@@ -137,15 +137,17 @@ class TestResolutionThroughParticipant:
 
 class TestCDSS:
     def test_duplicate_participant_rejected(self, cdss):
+        # A duplicate id is a caller error (ConfigError), not a store
+        # fault (StoreError).
         cdss.add_participant(1, TrustPolicy())
-        with pytest.raises(StoreError):
+        with pytest.raises(ConfigError):
             cdss.add_participant(1, TrustPolicy())
 
     def test_lookup_and_len(self, cdss):
         cdss.add_mutually_trusting_participants([1, 2, 3])
         assert len(cdss) == 3
         assert cdss.participant(2).id == 2
-        with pytest.raises(StoreError):
+        with pytest.raises(ConfigError):
             cdss.participant(9)
 
     def test_participants_ordered_by_id(self, cdss):

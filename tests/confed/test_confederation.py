@@ -1,0 +1,233 @@
+"""The Confederation facade: lifecycle, participants, snapshot/restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.confed import Confederation, ConfederationConfig
+from repro.errors import ConfigError
+from repro.instance import SqliteInstance
+from repro.model import Insert
+from repro.policy import TrustPolicy
+from repro.store import MemoryUpdateStore
+from repro.workload import WorkloadConfig, curated_schema
+
+RAT = ("rat", "prot1", "immune")
+MOUSE = ("mouse", "prot2", "immune")
+
+
+class TestLifecycle:
+    def test_from_config_is_open(self, schema):
+        confed = Confederation.from_config(
+            ConfederationConfig(peers=(1, 2)), schema=schema
+        )
+        assert len(confed) == 2
+        assert isinstance(confed.store, MemoryUpdateStore)
+
+    def test_context_manager_opens_and_closes(self, schema):
+        with Confederation(ConfederationConfig(peers=(1,)), schema=schema) as c:
+            assert len(c) == 1
+        with pytest.raises(ConfigError, match="closed"):
+            c.add_participant(2, TrustPolicy())
+
+    def test_double_open_rejected(self, schema):
+        confed = Confederation(ConfederationConfig(), schema=schema).open()
+        with pytest.raises(ConfigError, match="already open"):
+            confed.open()
+
+    def test_not_open_yet_rejected(self, schema):
+        confed = Confederation(ConfederationConfig(peers=(1,)), schema=schema)
+        with pytest.raises(ConfigError, match="not open"):
+            confed.participant(1)
+        with pytest.raises(ConfigError, match="open"):
+            confed.store
+
+    def test_close_is_idempotent(self, schema):
+        confed = Confederation(ConfederationConfig(), schema=schema).open()
+        confed.close()
+        confed.close()
+
+    def test_adopted_store_is_not_closed(self, schema):
+        class Probe(MemoryUpdateStore):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        store = Probe(schema)
+        with Confederation(ConfederationConfig(peers=(1,)), store=store):
+            pass
+        assert not store.closed
+
+    def test_network_centric_needs_capability(self):
+        config = ConfederationConfig(
+            store="dht", network_centric=True, peers=(1,)
+        )
+        with pytest.raises(ConfigError, match="network-centric"):
+            Confederation(config).open()
+
+
+class TestParticipants:
+    def test_duplicate_participant_is_config_error(self, schema):
+        with Confederation(ConfederationConfig(), schema=schema) as confed:
+            confed.add_participant(1, TrustPolicy())
+            with pytest.raises(ConfigError, match="already exists"):
+                confed.add_participant(1, TrustPolicy())
+
+    def test_unknown_participant_is_config_error(self, schema):
+        with Confederation(ConfederationConfig(), schema=schema) as confed:
+            with pytest.raises(ConfigError, match="no participant"):
+                confed.participant(7)
+
+    def test_declarative_trust_topology(self, schema):
+        config = ConfederationConfig(
+            peers=(1, 2), trust={1: {2: 4}, 2: {}}
+        )
+        with Confederation(config, schema=schema) as confed:
+            p2 = confed.participant(2)
+            p2.execute([Insert("F", RAT, 2)])
+            p2.publish_and_reconcile()
+            result = confed.participant(1).publish_and_reconcile()
+            # p1 trusts p2 at priority 4, so the insert lands...
+            assert [str(t) for t in result.accepted] == ["X2:0"]
+            confed.participant(1).execute([Insert("F", MOUSE, 1)])
+            confed.participant(1).publish_and_reconcile()
+            # ...while p2 trusts nobody: p1's insert is never delivered.
+            result = p2.publish_and_reconcile()
+            assert result.decisions == {}
+
+    def test_sqlite_instance_backend(self, schema):
+        config = ConfederationConfig(peers=(1,), instance_backend="sqlite")
+        with Confederation(config, schema=schema) as confed:
+            participant = confed.participant(1)
+            assert isinstance(participant.instance, SqliteInstance)
+            participant.execute([Insert("F", RAT, 1)])
+            assert participant.instance.contains_row("F", RAT)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_reflects_store_decisions(self, schema):
+        with Confederation(
+            ConfederationConfig(peers=(1, 2)), schema=schema
+        ) as confed:
+            p1 = confed.participant(1)
+            p1.execute([Insert("F", RAT, 1)])
+            p1.publish_and_reconcile()
+            confed.participant(2).publish_and_reconcile()
+            snap = confed.snapshot()
+            assert [str(t) for t in snap[1].applied] == ["X1:0"]
+            assert [str(t) for t in snap[2].applied] == ["X1:0"]
+            assert snap[2].rejected == ()
+            assert snap[2].last_recno >= 1
+
+    def test_restore_rebuilds_equivalent_participants(self, schema):
+        with Confederation(
+            ConfederationConfig(peers=(1, 2, 3)), schema=schema
+        ) as confed:
+            p1, p2, p3 = confed.participants
+            p1.execute([Insert("F", RAT, 1)])
+            p1.publish_and_reconcile()
+            p2.execute([Insert("F", ("rat", "prot1", "cell-resp"), 2)])
+            p2.publish_and_reconcile()
+            p3.publish_and_reconcile()  # defers the conflict
+            before = {
+                pid: p.instance.snapshot() for pid, p in enumerate(
+                    confed.participants, start=1
+                )
+            }
+            deferred_before = set(p3.state.deferred)
+            restored = confed.restore()
+            assert set(restored) == {1, 2, 3}
+            for pid, participant in restored.items():
+                assert confed.participant(pid) is participant
+                assert participant.instance.snapshot() == before[pid]
+            assert set(confed.participant(3).state.deferred) == deferred_before
+
+    def test_restore_preserves_instance_type(self, schema):
+        with Confederation(ConfederationConfig(), schema=schema) as confed:
+            p1 = confed.add_participant(
+                1, TrustPolicy(), instance=SqliteInstance(schema)
+            )
+            p1.execute([Insert("F", RAT, 1)])
+            p1.publish_and_reconcile()
+            restored = confed.restore(1)
+            # An explicitly supplied sqlite replica must not silently
+            # downgrade to the config's default backend.
+            assert isinstance(restored.instance, SqliteInstance)
+            assert restored.instance.contains_row("F", RAT)
+
+    def test_restored_participants_stay_on_the_bus(self, schema):
+        with Confederation(
+            ConfederationConfig(peers=(1, 2)), schema=schema
+        ) as confed:
+            p1 = confed.participant(1)
+            p1.execute([Insert("F", RAT, 1)])
+            p1.publish_and_reconcile()
+            restored = confed.restore(2)
+            events = []
+            confed.hooks.on_reconcile(
+                lambda participant, **_: events.append(participant)
+            )
+            restored.publish_and_reconcile()
+            assert events == [2]
+
+
+class TestRunAndReport:
+    def test_run_matches_legacy_simulation(self):
+        config = ConfederationConfig(
+            peers=(1, 2, 3, 4),
+            reconciliation_interval=2,
+            rounds=2,
+            workload=WorkloadConfig(seed=11),
+        )
+        with Confederation(config) as confed:
+            report = confed.run()
+        assert report.transactions_published == 4 * 2 * 2
+        assert set(report.timings) == {1, 2, 3, 4}
+        for agg in report.timings.values():
+            assert agg.reconciliations == 2
+        assert report.store_messages > 0
+        assert 1.0 <= report.state_ratio <= 4.0
+
+    def test_report_metrics_come_from_the_bus(self):
+        config = ConfederationConfig(
+            peers=(1, 2), reconciliation_interval=2, rounds=1
+        )
+        with Confederation(config) as confed:
+            report = confed.run()
+            # The collectors saw every reconciliation the participants
+            # ran...
+            for pid, agg in report.timings.items():
+                assert agg.reconciliations == len(
+                    confed.participant(pid).timings
+                )
+            # ...and the cache totals equal the participants' cumulative
+            # counters (one delta per run, summed).
+            cumulative = sum(
+                confed.participant(pid).reconciler.cache.stats.hits
+                + confed.participant(pid).reconciler.cache.stats.misses
+                for pid in (1, 2)
+            )
+            assert (
+                report.cache_stats.hits + report.cache_stats.misses
+                == cumulative
+            )
+
+    def test_report_cache_stats_is_a_snapshot(self):
+        config = ConfederationConfig(
+            peers=(1, 2), reconciliation_interval=2, rounds=1
+        )
+        with Confederation(config) as confed:
+            first = confed.run()
+            frozen = first.cache_stats.as_dict()
+            second = confed.run()
+            # The first report must not mutate as the run continues.
+            assert first.cache_stats.as_dict() == frozen
+            assert first.cache_stats is not second.cache_stats
+
+    def test_default_schema_is_the_evaluation_schema(self):
+        with Confederation(ConfederationConfig(peers=(1,))) as confed:
+            expected = curated_schema()
+            assert [r.name for r in confed.schema] == [
+                r.name for r in expected
+            ]

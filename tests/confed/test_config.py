@@ -1,0 +1,88 @@
+"""ConfederationConfig: round-trip, validation, and error behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.confed import Confederation, ConfederationConfig
+from repro.errors import ConfigError
+from repro.workload import WorkloadConfig
+
+
+class TestRoundTrip:
+    def test_default_config_round_trips(self):
+        cfg = ConfederationConfig()
+        assert ConfederationConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_full_config_round_trips(self):
+        cfg = ConfederationConfig(
+            store="central",
+            store_options={"call_overhead_seconds": 0.001},
+            instance_backend="sqlite",
+            peers=(1, 2, 5),
+            trust={1: {2: 3, 5: 1}, 2: {1: 1}},
+            trust_priority=2,
+            network_centric=True,
+            engine_caching=False,
+            workload=WorkloadConfig(transaction_size=3, seed=9),
+            reconciliation_interval=7,
+            rounds=2,
+            final_reconcile=True,
+        )
+        assert ConfederationConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_round_trip_survives_json(self):
+        cfg = ConfederationConfig(
+            peers=(1, 2, 3),
+            trust={1: {2: 1}, 2: {1: 2}, 3: {1: 1, 2: 1}},
+            workload=WorkloadConfig(seed=3),
+        )
+        wire = json.loads(json.dumps(cfg.to_dict()))
+        assert ConfederationConfig.from_dict(wire) == cfg
+
+    def test_peers_normalised_to_tuple(self):
+        assert ConfederationConfig(peers=[3, 1]).peers == (3, 1)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            ConfederationConfig.from_dict({"stoer": "memory"})
+
+    def test_unknown_workload_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload keys"):
+            ConfederationConfig.from_dict({"workload": {"sede": 1}})
+
+
+class TestValidation:
+    def test_duplicate_peers_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate peer"):
+            ConfederationConfig(peers=(1, 1, 2)).validate()
+
+    def test_trust_must_reference_known_peers(self):
+        with pytest.raises(ConfigError, match="unknown peers"):
+            ConfederationConfig(peers=(1, 2), trust={1: {9: 1}}).validate()
+
+    def test_unknown_instance_backend_rejected(self):
+        with pytest.raises(ConfigError, match="instance backend"):
+            ConfederationConfig(instance_backend="redis").validate()
+
+    def test_unknown_store_backend_fails_at_open(self):
+        config = ConfederationConfig(store="cassandra")
+        with pytest.raises(ConfigError, match="unknown store backend"):
+            Confederation(config).open()
+
+    def test_validation_happens_at_construction(self):
+        with pytest.raises(ConfigError):
+            Confederation(ConfederationConfig(peers=(1, 1)))
+
+
+class TestEvaluationShape:
+    def test_evaluation_builds_peer_range(self):
+        cfg = ConfederationConfig.evaluation(4)
+        assert cfg.peers == (1, 2, 3, 4)
+
+    def test_evaluation_forwards_overrides(self):
+        cfg = ConfederationConfig.evaluation(2, store="central", rounds=9)
+        assert cfg.store == "central"
+        assert cfg.rounds == 9

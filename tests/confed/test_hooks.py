@@ -1,0 +1,162 @@
+"""The event hook bus: subscription rules, ordering, and delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.confed import Confederation, ConfederationConfig, HookBus
+from repro.core import Decision
+from repro.errors import ConfigError
+from repro.model import Insert, Modify
+
+
+class TestBusMechanics:
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ConfigError, match="unknown hook event"):
+            HookBus().subscribe("decisions", lambda **_: None)
+
+    def test_handlers_run_in_subscription_order(self):
+        bus = HookBus()
+        calls = []
+        bus.on_publish(lambda **_: calls.append("first"))
+        bus.on_publish(lambda **_: calls.append("second"))
+        bus.emit("publish", participant=1, epoch=1, transactions=())
+        assert calls == ["first", "second"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = HookBus()
+        calls = []
+        handler = bus.on_decision(lambda **_: calls.append(1))
+        bus.unsubscribe("decision", handler)
+        bus.emit("decision", participant=1, recno=1, tid=None, decision=None)
+        assert calls == []
+        assert not bus.has("decision")
+
+    def test_handler_exceptions_propagate(self):
+        bus = HookBus()
+
+        def boom(**_):
+            raise RuntimeError("handler failed")
+
+        bus.on_epoch_start(boom)
+        with pytest.raises(RuntimeError, match="handler failed"):
+            bus.emit("epoch_start", participant=1, recno=1)
+
+
+@pytest.fixture
+def three_peers(schema):
+    confed = Confederation.from_config(
+        ConfederationConfig(store="memory", peers=(1, 2, 3)), schema=schema
+    )
+    yield confed
+    confed.close()
+
+
+RAT_A = ("rat", "prot1", "immune")
+RAT_B = ("rat", "prot1", "cell-resp")
+
+
+class TestLifecycleDelivery:
+    """Hook ordering and payloads over a real 3-peer reconcile."""
+
+    def test_event_order_and_payloads(self, three_peers):
+        events = []
+        bus = three_peers.hooks
+        bus.on_publish(
+            lambda participant, epoch, transactions, **_: events.append(
+                ("publish", participant, epoch, len(transactions))
+            )
+        )
+        bus.on_epoch_start(
+            lambda participant, recno, **_: events.append(
+                ("epoch_start", participant, recno)
+            )
+        )
+        bus.on_decision(
+            lambda participant, tid, decision, **_: events.append(
+                ("decision", participant, str(tid), decision)
+            )
+        )
+        bus.on_conflict(
+            lambda participant, group, **_: events.append(
+                ("conflict", participant, len(group.options))
+            )
+        )
+        bus.on_cache_stats(
+            lambda participant, stats, **_: events.append(
+                ("cache_stats", participant, stats is not None)
+            )
+        )
+        bus.on_reconcile(
+            lambda participant, result, timing, **_: events.append(
+                ("reconcile", participant, result.recno)
+            )
+        )
+
+        p1, p2, p3 = three_peers.participants
+        p1.execute([Insert("F", RAT_A, 1)])
+        p1.publish_and_reconcile()
+        p2.execute([Insert("F", RAT_B, 2)])
+        p2.publish_and_reconcile()
+        p3.publish_and_reconcile()
+
+        # p1's turn: publish precedes its epoch_start, which precedes its
+        # reconcile completion.
+        assert events[0] == ("publish", 1, 1, 1)
+        assert events[1] == ("epoch_start", 1, 1)
+        kinds_p1 = [e[0] for e in events if e[1] == 1]
+        assert kinds_p1.index("publish") < kinds_p1.index("epoch_start")
+        assert kinds_p1.index("epoch_start") < kinds_p1.index("reconcile")
+
+        # p2 rejects p1's conflicting chain: exactly one decision event,
+        # ordered between its epoch_start and its cache_stats.
+        p2_events = [e for e in events if e[1] == 2]
+        p2_kinds = [e[0] for e in p2_events]
+        assert p2_kinds == [
+            "publish",
+            "epoch_start",
+            "decision",
+            "cache_stats",
+            "reconcile",
+        ]
+        decision_event = next(e for e in p2_events if e[0] == "decision")
+        assert decision_event[3] is Decision.REJECT
+
+        # p3 trusts both equally: both roots deferred into one conflict
+        # group; the conflict event lands between decisions and
+        # cache_stats.
+        p3_kinds = [e[0] for e in events if e[1] == 3]
+        assert p3_kinds == [
+            "publish",
+            "epoch_start",
+            "decision",
+            "decision",
+            "conflict",
+            "cache_stats",
+            "reconcile",
+        ]
+        p3_decisions = [
+            e for e in events if e[1] == 3 and e[0] == "decision"
+        ]
+        assert all(e[3] is Decision.DEFER for e in p3_decisions)
+        # Decision events arrive in publish order.
+        assert [e[2] for e in p3_decisions] == ["X1:0", "X2:0"]
+
+    def test_decisions_delivered_match_result(self, three_peers):
+        seen = {}
+        three_peers.hooks.on_decision(
+            lambda tid, decision, **_: seen.__setitem__(str(tid), decision)
+        )
+        p1, p2, _p3 = three_peers.participants
+        p1.execute([Insert("F", RAT_A, 1)])
+        p1.execute([Modify("F", RAT_A, ("rat", "prot1", "signal"), 1)])
+        p1.publish_and_reconcile()
+        result = p2.publish_and_reconcile()
+        assert seen == {str(t): d for t, d in result.decisions.items()}
+
+    def test_quiet_bus_costs_nothing_visible(self, three_peers):
+        # No subscribers: the same run just works (emit early-returns).
+        p1, _p2, _p3 = three_peers.participants
+        p1.execute([Insert("F", RAT_A, 1)])
+        result = p1.publish_and_reconcile()
+        assert result.recno == 1

@@ -6,7 +6,7 @@ tests declare transactions, antecedent edges, and publish order explicitly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 from repro.core import (
     ReconciliationBatch,

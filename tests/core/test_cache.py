@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 import repro.core.cache as cache_module
-from repro.core import Decision, ParticipantState, Reconciler
+from repro.core import ParticipantState, Reconciler
 from repro.core.cache import CacheStats, ConflictCache, ExtensionCache
 from repro.core.extensions import (
     RelevantTransaction,

@@ -3,9 +3,8 @@ against ``Reconciler`` with hand-built batches."""
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core import Decision, ParticipantState, Reconciler
+from repro.core import ParticipantState, Reconciler
 from repro.instance import MemoryInstance
 from repro.model import Delete, Insert, Modify, make_transaction
 

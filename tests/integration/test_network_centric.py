@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cdss import CDSS, Participant
-from repro.model import Insert, Modify
+from repro.cdss import CDSS
+from repro.model import Insert
 from repro.policy import TrustPolicy, policy_from_priorities
 from repro.store import CentralUpdateStore, DhtUpdateStore, MemoryUpdateStore
 from repro.workload import WorkloadConfig, WorkloadGenerator, curated_schema

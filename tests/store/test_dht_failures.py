@@ -8,8 +8,7 @@ import pytest
 
 from repro.cdss import CDSS
 from repro.errors import StoreError
-from repro.model import Insert, make_transaction
-from repro.policy import TrustPolicy
+from repro.model import Insert
 from repro.store import DhtUpdateStore
 
 

@@ -1,0 +1,133 @@
+"""API-surface snapshot: ``repro.__all__`` and the driver registry.
+
+A name disappearing from (or silently joining) the public surface is an
+API change and must show up in review as an edit to this file.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.confed.hooks import EVENTS
+from repro.store import available_stores, store_capabilities
+
+EXPECTED_ALL = {
+    # Confederation layer
+    "Confederation",
+    "ConfederationConfig",
+    "ConfederationReport",
+    "HookBus",
+    "ParticipantSnapshot",
+    # Legacy entry points (deprecation shims)
+    "CDSS",
+    "Simulation",
+    "SimulationConfig",
+    # Participants and the engine
+    "Decision",
+    "Participant",
+    "ParticipantState",
+    "ReconcileResult",
+    "Reconciler",
+    "Resolution",
+    "resolve_conflicts",
+    # Stores and the driver registry
+    "CentralUpdateStore",
+    "DhtUpdateStore",
+    "MemoryUpdateStore",
+    "StoreCapabilities",
+    "UpdateStore",
+    "available_stores",
+    "create_store",
+    "register_store",
+    "store_capabilities",
+    # Instances
+    "Instance",
+    "MemoryInstance",
+    "SqliteInstance",
+    # Policies
+    "AcceptanceRule",
+    "TrustPolicy",
+    "always",
+    "attribute_equals",
+    "origin_is",
+    "policy_from_priorities",
+    # Workload and metrics
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "curated_schema",
+    "state_ratio",
+    # Model
+    "AttributeDef",
+    "Delete",
+    "ForeignKey",
+    "Insert",
+    "Modify",
+    "RelationSchema",
+    "Schema",
+    "Transaction",
+    "TransactionId",
+    "Update",
+    "flatten",
+    "flatten_transactions",
+    "make_transaction",
+    "updates_conflict",
+    # Errors
+    "ConfigError",
+    "ConstraintViolation",
+    "FlattenError",
+    "NetworkError",
+    "PolicyError",
+    "PublicationError",
+    "ReconciliationError",
+    "ReproError",
+    "ResolutionError",
+    "SchemaError",
+    "StoreError",
+    "UnknownTransactionError",
+    "UpdateError",
+    "WorkloadError",
+}
+
+
+def test_public_all_is_exactly_the_snapshot():
+    assert set(repro.__all__) == EXPECTED_ALL
+
+
+def test_every_public_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_builtin_registry_contents():
+    assert available_stores() == ["central", "dht", "memory"]
+
+
+def test_registry_capability_snapshot():
+    assert store_capabilities("memory").as_dict() == {
+        "ships_context_free": True,
+        "shared_pair_memo": True,
+        "durable": False,
+        "network_centric": True,
+    }
+    assert store_capabilities("central").as_dict() == {
+        "ships_context_free": True,
+        "shared_pair_memo": True,
+        "durable": True,
+        "network_centric": True,
+    }
+    assert store_capabilities("dht").as_dict() == {
+        "ships_context_free": False,
+        "shared_pair_memo": False,
+        "durable": False,
+        "network_centric": False,
+    }
+
+
+def test_hook_event_names_are_stable():
+    assert EVENTS == (
+        "publish",
+        "epoch_start",
+        "decision",
+        "conflict",
+        "cache_stats",
+        "reconcile",
+    )
