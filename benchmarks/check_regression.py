@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail CI when the engine benchmark regresses past a threshold.
+
+Compares a freshly emitted ``BENCH_engine.json`` against the committed
+baseline (``benchmarks/BENCH_baseline.json``).  The primary metric is
+the *speedup* ratio (cached engine vs. the seed-path baseline, both
+measured in the same process on the same host) because it is
+dimensionless — absolute seconds vary wildly across CI runners, but
+both sides of the ratio move with the machine.
+
+Exit status 1 when the fresh speedup drops more than ``--threshold``
+(default 20%) below the baseline speedup.
+
+Usage:
+    python benchmarks/check_regression.py BENCH_engine.json \\
+        benchmarks/BENCH_baseline.json [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_point(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"check_regression: {path} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"check_regression: {path} is not valid JSON: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=Path, help="just-emitted BENCH_engine.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline point")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated relative speedup drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_point(args.fresh)
+    baseline = load_point(args.baseline)
+    try:
+        fresh_speedup = float(fresh["speedup"])
+        baseline_speedup = float(baseline["speedup"])
+    except KeyError as exc:
+        sys.exit(f"check_regression: missing key {exc} in a benchmark point")
+
+    floor = baseline_speedup * (1.0 - args.threshold)
+    drop = 1.0 - fresh_speedup / baseline_speedup
+    print(
+        f"engine speedup: fresh {fresh_speedup:.2f}x vs baseline "
+        f"{baseline_speedup:.2f}x (drop {drop:+.1%}, tolerated "
+        f"{args.threshold:.0%}, floor {floor:.2f}x)"
+    )
+    if fresh_speedup < floor:
+        print(
+            "REGRESSION: fresh speedup fell below the tolerated floor — "
+            "either fix the slowdown or update benchmarks/BENCH_baseline.json "
+            "with a justification in the PR."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,11 +79,14 @@ from repro.confed import (
     ConfederationReport,
     HookBus,
     ParticipantSnapshot,
+    SerialScheduler,
+    ThreadedScheduler,
 )
 from repro.core import (
     Decision,
     ParticipantState,
     ReconcileResult,
+    ReconcileSession,
     Reconciler,
     Resolution,
     resolve_conflicts,
@@ -134,12 +137,15 @@ __all__ = [
     "ParticipantSnapshot",
     "ParticipantState",
     "ReconcileResult",
+    "ReconcileSession",
     "Reconciler",
     "Resolution",
+    "SerialScheduler",
     "Simulation",
     "SimulationConfig",
     "SqliteInstance",
     "StoreCapabilities",
+    "ThreadedScheduler",
     "TrustPolicy",
     "UpdateStore",
     "WorkloadConfig",

@@ -6,6 +6,14 @@ the accumulated transactions, and :meth:`Participant.reconcile`\\ s to import
 other peers' updates.  Publishing and reconciling are usually performed
 together (:meth:`Participant.publish_and_reconcile`), as the paper assumes.
 
+The participant is the **transport layer** of the PR 3 session split: it
+is the only layer that talks to the update store.  Every store call goes
+through :meth:`Participant._store_call`, which holds the store's lock
+(so the threaded epoch scheduler can run many participants against one
+store), measures the call, and pays any configured real latency *after*
+releasing the lock.  The decisions themselves are produced by the
+transport-free :class:`~repro.core.session.ReconcileSession`.
+
 Every reconciliation records a :class:`ReconcileTiming` splitting the cost
 into *store* time (wall-clock spent inside update-store calls plus the
 simulated network latency those calls charged) and *local* time (the
@@ -23,13 +31,14 @@ from repro.core.cache import ExtensionCache
 from repro.core.decisions import ReconcileResult
 from repro.core.engine import Reconciler
 from repro.core.resolution import Resolution, resolve_conflicts
+from repro.core.session import ReconcileSession
 from repro.core.state import ParticipantState
 from repro.instance.base import Instance
 from repro.instance.memory import MemoryInstance
 from repro.model.transactions import Transaction, TransactionId
 from repro.model.updates import Update
 from repro.policy.acceptance import TrustPolicy
-from repro.store.base import UpdateStore
+from repro.store.base import PerfCounters, UpdateStore
 
 
 @dataclass
@@ -85,6 +94,7 @@ class Participant:
             cache=ExtensionCache(enabled=engine_caching),
             hooks=hooks,
         )
+        self.session = ReconcileSession(self.reconciler, hooks=hooks)
         self.timings: List[ReconcileTiming] = []
         self._sequence = 0
         self._unpublished: List[Transaction] = []
@@ -200,11 +210,47 @@ class Participant:
     # ------------------------------------------------------------------
     # Publication and reconciliation
 
+    def _store_call(self, method, *args) -> Tuple[object, PerfCounters, float]:
+        """Run one store call under the store lock; returns
+        ``(result, perf delta, wall seconds inside the call)``.
+
+        The lock serializes store access when the threaded epoch
+        scheduler drives several participants concurrently (stores are
+        not internally thread-safe); the perf snapshot/delta must happen
+        inside it so concurrent callers cannot misattribute each other's
+        charges.  The wall clock starts *after* the lock is acquired —
+        contention wait is scheduling, not store cost, and counting it
+        would inflate every participant's store bars under the threaded
+        schedule.  Any configured real latency is paid after the lock is
+        released, so concurrent sessions wait in parallel.  Stores
+        without the lock/latency attributes (minimal test doubles) are
+        called directly.
+        """
+        store = self.store
+        lock = getattr(store, "lock", None)
+        if lock is None:
+            started = time.perf_counter()
+            result = method(*args)
+            delta = PerfCounters()
+        else:
+            with lock:
+                started = time.perf_counter()
+                before = store.perf.snapshot()
+                result = method(*args)
+                delta = store.perf.minus(before)
+        elapsed = time.perf_counter() - started
+        pay = getattr(store, "pay_latency", None)
+        if pay is not None:
+            pay(delta.simulated_seconds)
+        return result, delta, elapsed
+
     def publish(self) -> int:
         """Publish all unpublished transactions; returns the epoch."""
         transactions = self._unpublished
         self._unpublished = []
-        epoch = self.store.publish(self.id, transactions)
+        epoch, _delta, _elapsed = self._store_call(
+            self.store.publish, self.id, transactions
+        )
         self.state.record_applied([t.tid for t in transactions])
         if self.hooks is not None:
             self.hooks.emit(
@@ -216,54 +262,29 @@ class Participant:
         return epoch
 
     def reconcile(self) -> ReconcileResult:
-        """Import other peers' updates (one ``ReconcileUpdates`` run)."""
-        perf_before = self.store.perf.snapshot()
-        store_start = time.perf_counter()
-        if self.network_centric:
-            batch = self.store.begin_network_reconciliation(self.id)
-        else:
-            batch = self.store.begin_reconciliation(self.id)
-        store_elapsed = time.perf_counter() - store_start
-        # The engine trusts the store's declared capability flags — not
-        # its concrete type — when deciding whether to adopt shipped
-        # payloads; attach them here so every store is covered.
-        if batch.capabilities is None:
-            batch.capabilities = self.store.capabilities
+        """Import other peers' updates (one ``ReconcileUpdates`` run).
 
-        if self.hooks is not None:
-            self.hooks.emit(
-                "epoch_start", participant=self.id, recno=batch.recno
-            )
-
-        already_deferred = set(self.state.deferred)
-        local_start = time.perf_counter()
-        result = self.reconciler.reconcile(batch, own_updates=self._own_delta)
-        local_elapsed = time.perf_counter() - local_start
-
-        # The store only needs to hear about *newly* deferred transactions;
-        # ones it already recorded as deferred stay deferred.  (Re-deferral
-        # is the common case while a conflict awaits resolution, and
-        # re-notifying would cost a message pair per deferred transaction
-        # per reconciliation on the distributed store.)
-        upstream = ReconcileResult(
-            recno=result.recno,
-            accepted=result.accepted,
-            rejected=result.rejected,
-            deferred=[
-                tid for tid in result.deferred if tid not in already_deferred
-            ],
-            applied=result.applied,
+        Transport only: fetch the batch through the single store
+        contract, hand it to the session (the transport-free decision
+        layer), and report the upstream result back to the store.
+        """
+        batch, fetch_delta, fetch_elapsed = self._store_call(
+            self.store.reconciliation_batch, self.id, self.network_centric
         )
-        store_start = time.perf_counter()
-        self.store.complete_reconciliation(self.id, upstream)
-        store_elapsed += time.perf_counter() - store_start
+        outcome = self.session.run(batch, own_updates=self._own_delta)
+        _, complete_delta, complete_elapsed = self._store_call(
+            self.store.complete_reconciliation, self.id, outcome.upstream
+        )
 
-        perf_delta = self.store.perf.minus(perf_before)
+        result = outcome.result
         timing = ReconcileTiming(
             recno=result.recno,
-            store_seconds=store_elapsed + perf_delta.simulated_seconds,
-            local_seconds=local_elapsed,
-            store_messages=perf_delta.messages,
+            store_seconds=fetch_elapsed
+            + complete_elapsed
+            + fetch_delta.simulated_seconds
+            + complete_delta.simulated_seconds,
+            local_seconds=outcome.local_seconds,
+            store_messages=fetch_delta.messages + complete_delta.messages,
         )
         self.timings.append(timing)
         self._own_delta = []
@@ -292,7 +313,7 @@ class Participant:
     def resolve(self, resolutions: Sequence[Resolution]) -> ReconcileResult:
         """Resolve conflicts, re-reconcile, and report decisions upstream."""
         result = resolve_conflicts(self.reconciler, list(resolutions))
-        self.store.complete_reconciliation(self.id, result)
+        self._store_call(self.store.complete_reconciliation, self.id, result)
         return result
 
     # ------------------------------------------------------------------

@@ -13,23 +13,44 @@ This is the public entry point for building and running a CDSS:
 * :class:`~repro.confed.hooks.HookBus` — the event bus participants and
   reconcilers emit into (``on_publish``, ``on_epoch_start``,
   ``on_decision``, ``on_conflict``, ``on_cache_stats``,
-  ``on_reconcile``); metrics are subscribers, not engine plumbing.
+  ``on_reconcile``, ``on_epoch_end``); metrics are subscribers, not
+  engine plumbing;
+* :mod:`~repro.confed.scheduler` — the pluggable epoch schedulers
+  ``run()`` executes the schedule through
+  (:class:`~repro.confed.scheduler.SerialScheduler` /
+  :class:`~repro.confed.scheduler.ThreadedScheduler`, selected by
+  ``config.schedule_mode``).
 
 The legacy ``repro.cdss.CDSS`` / ``repro.cdss.Simulation`` entry points
 remain as deprecation shims delegating here.
 """
 
-from repro.confed.config import INSTANCE_BACKENDS, ConfederationConfig
+from repro.confed.config import (
+    INSTANCE_BACKENDS,
+    SCHEDULE_MODES,
+    ConfederationConfig,
+)
 from repro.confed.confederation import Confederation, ParticipantSnapshot
 from repro.confed.hooks import EVENTS, HookBus
 from repro.confed.report import ConfederationReport
+from repro.confed.scheduler import (
+    EpochScheduler,
+    SerialScheduler,
+    ThreadedScheduler,
+    create_scheduler,
+)
 
 __all__ = [
     "Confederation",
     "ConfederationConfig",
     "ConfederationReport",
     "EVENTS",
+    "EpochScheduler",
     "HookBus",
     "INSTANCE_BACKENDS",
     "ParticipantSnapshot",
+    "SCHEDULE_MODES",
+    "SerialScheduler",
+    "ThreadedScheduler",
+    "create_scheduler",
 ]

@@ -13,9 +13,11 @@ a confederation owns the participant lifecycle:
 * ``snapshot()``/``restore()`` wrap the soft-state reconstruction of
   Section 5.2 (:meth:`repro.cdss.participant.Participant.rebuild`):
   everything a participant is can be re-derived from the update store;
-* ``run()`` executes the evaluation-section schedule (the synthetic
-  workload, round-robin publish-and-reconcile epochs) and ``report()``
-  collects the paper's metrics from hook-bus subscribers.
+* ``run()`` executes the evaluation-section schedule through a
+  pluggable epoch scheduler (:mod:`repro.confed.scheduler` — the
+  paper's serial round-robin, or a threaded schedule that overlaps
+  independent participants' work) and ``report()`` collects the
+  paper's metrics from hook-bus subscribers.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.cdss.participant import Participant
 from repro.confed.config import ConfederationConfig
 from repro.confed.hooks import HookBus
 from repro.confed.report import ConfederationReport
+from repro.confed.scheduler import create_scheduler
 from repro.errors import ConfigError
 from repro.instance.base import Instance
 from repro.instance.sqlite_instance import SqliteInstance
@@ -402,30 +405,39 @@ class Confederation:
     def run(self, relation: Optional[str] = "F") -> ConfederationReport:
         """Execute the configured schedule and return the report.
 
-        Participants take turns in a fixed order, matching the paper's
-        global epoch ordering: every ``reconciliation_interval``
-        transactions each publishes and reconciles, for ``rounds``
-        cycles; ``final_reconcile`` adds one reconcile-only pass so
-        every published transaction reaches every peer.
+        The schedule itself is a pluggable strategy
+        (:mod:`repro.confed.scheduler`, selected by
+        ``config.schedule_mode``): the default ``"serial"`` mode is the
+        paper's strict round-robin — every ``reconciliation_interval``
+        transactions each participant publishes and reconciles, for
+        ``rounds`` cycles — and ``"threaded"`` runs independent
+        participants' edit/reconcile phases concurrently between
+        deterministic publish-order barriers.  ``final_reconcile`` adds
+        one reconcile-only pass so every published transaction reaches
+        every peer.
         """
         self._ensure_open()
-        for _round in range(self.config.rounds):
-            for participant in self.participants:
-                self._edit_and_sync(participant)
-        if self.config.final_reconcile:
-            for participant in self.participants:
-                participant.reconcile()
+        create_scheduler(self.config).run(self)
         return self.report(relation=relation)
 
-    def _edit_and_sync(self, participant: Participant) -> None:
-        for _ in range(self.config.reconciliation_interval):
-            updates = self.generator.transaction_updates(
-                participant.id, participant.instance
-            )
-            if updates:
-                participant.execute(updates)
-                self._transactions_published += 1
-        participant.publish_and_reconcile()
+    def finish_scheduled_epoch(
+        self, participant: Participant, round_index: int, published: int
+    ) -> None:
+        """Record one completed schedule step and announce it.
+
+        Called by the epoch scheduler after ``participant`` finished its
+        publish-and-reconcile step of round ``round_index``; ``published``
+        is the number of transactions the step published.  Emits the
+        ``epoch_end`` event so subscribers can observe schedule progress.
+        """
+        self._transactions_published += published
+        self.hooks.emit(
+            "epoch_end",
+            participant=participant.id,
+            round=round_index,
+            published=published,
+            total_published=self._transactions_published,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else ("open" if self._opened else "new")

@@ -20,6 +20,10 @@ from repro.workload.generator import WorkloadConfig
 #: Instance backends a participant's local replica can use, by name.
 INSTANCE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite")
 
+#: Epoch-scheduler modes :meth:`repro.confed.Confederation.run` can use
+#: (see :mod:`repro.confed.scheduler`).
+SCHEDULE_MODES: Tuple[str, ...] = ("serial", "threaded")
+
 
 @dataclass
 class ConfederationConfig:
@@ -40,7 +44,14 @@ class ConfederationConfig:
       3's reconciliation mode; the PR 1 incremental caches);
     * ``workload`` plus ``reconciliation_interval`` / ``rounds`` /
       ``final_reconcile`` — the evaluation schedule
-      :meth:`repro.confed.Confederation.run` executes.
+      :meth:`repro.confed.Confederation.run` executes;
+    * ``schedule_mode`` / ``schedule_workers`` — which epoch scheduler
+      executes it: ``"serial"`` (the paper's strict round-robin) or
+      ``"threaded"`` (independent participants' edit and reconcile
+      phases run concurrently between deterministic publish-order
+      barriers; ``schedule_workers`` caps the pool, None sizes it from
+      the peer count and CPU count).  See
+      :mod:`repro.confed.scheduler`.
     """
 
     store: str = "memory"
@@ -55,6 +66,8 @@ class ConfederationConfig:
     reconciliation_interval: int = 4
     rounds: int = 4
     final_reconcile: bool = False
+    schedule_mode: str = "serial"
+    schedule_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.peers = tuple(self.peers)
@@ -94,6 +107,13 @@ class ConfederationConfig:
             raise ConfigError("reconciliation_interval must be >= 0")
         if self.rounds < 0:
             raise ConfigError("rounds must be >= 0")
+        if self.schedule_mode not in SCHEDULE_MODES:
+            raise ConfigError(
+                f"unknown schedule mode {self.schedule_mode!r}; "
+                f"available: {', '.join(SCHEDULE_MODES)}"
+            )
+        if self.schedule_workers is not None and self.schedule_workers < 1:
+            raise ConfigError("schedule_workers must be >= 1 (or None)")
         return self
 
     # ------------------------------------------------------------------
@@ -124,6 +144,8 @@ class ConfederationConfig:
             "reconciliation_interval": self.reconciliation_interval,
             "rounds": self.rounds,
             "final_reconcile": self.final_reconcile,
+            "schedule_mode": self.schedule_mode,
+            "schedule_workers": self.schedule_workers,
         }
 
     @classmethod

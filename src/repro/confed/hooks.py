@@ -25,6 +25,13 @@ Events and payloads (all payload entries are keyword arguments):
                    a reconciliation finished; carries the full
                    :class:`~repro.core.decisions.ReconcileResult` and
                    the :class:`~repro.cdss.participant.ReconcileTiming`.
+``epoch_end``      ``participant``, ``round``, ``published``,
+                   ``total_published`` — the schedule finished one
+                   participant's publish-and-reconcile step;
+                   ``published`` counts the transactions that step
+                   published and ``total_published`` the running total
+                   across the run (subscribers observe schedule
+                   progress instead of polling the report).
 =================  =====================================================
 
 Delivery is synchronous and in subscription order; handler exceptions
@@ -32,10 +39,16 @@ propagate to the emitting call (hooks are part of the run, not
 best-effort logging).  Handlers must accept their payload as keyword
 arguments — accepting ``**_`` for unused entries keeps them forward
 compatible with payload growth.
+
+Emission is serialized by a reentrant lock: the threaded epoch
+scheduler emits from several worker threads, and subscribers (the
+metric collectors) must never see interleaved handler runs.  Under the
+default serial schedule the lock is uncontended.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Tuple
 
 from repro.errors import ConfigError
@@ -48,6 +61,7 @@ EVENTS: Tuple[str, ...] = (
     "conflict",
     "cache_stats",
     "reconcile",
+    "epoch_end",
 )
 
 Handler = Callable[..., None]
@@ -58,6 +72,7 @@ class HookBus:
 
     def __init__(self) -> None:
         self._handlers: Dict[str, List[Handler]] = {}
+        self._emit_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Subscription
@@ -106,6 +121,10 @@ class HookBus:
         """Subscribe to ``reconcile`` events."""
         return self.subscribe("reconcile", handler)
 
+    def on_epoch_end(self, handler: Handler) -> Handler:
+        """Subscribe to ``epoch_end`` events."""
+        return self.subscribe("epoch_end", handler)
+
     # ------------------------------------------------------------------
     # Emission
 
@@ -116,12 +135,14 @@ class HookBus:
 
     def emit(self, event: str, **payload) -> None:
         """Deliver ``payload`` to every subscriber of ``event``, in
-        subscription order."""
+        subscription order.  Handler runs are serialized across threads
+        (see the module docstring)."""
         handlers = self._handlers.get(event)
         if not handlers:
             return
-        for handler in list(handlers):
-            handler(**payload)
+        with self._emit_lock:
+            for handler in list(handlers):
+                handler(**payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         counts = {

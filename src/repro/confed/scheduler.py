@@ -1,0 +1,175 @@
+"""Pluggable epoch schedulers for :meth:`Confederation.run`.
+
+The evaluation schedule — every ``reconciliation_interval`` transactions
+each participant publishes and reconciles, for ``rounds`` cycles — used
+to be a serial loop inlined in ``Confederation.run()``.  It is now a
+strategy object selected from
+:attr:`~repro.confed.config.ConfederationConfig.schedule_mode`:
+
+* :class:`SerialScheduler` (``"serial"``, the default) — the paper's
+  strict round-robin: one participant at a time edits, publishes, and
+  reconciles.  Byte-for-byte the historical behaviour.
+* :class:`ThreadedScheduler` (``"threaded"``) — independent
+  participants' *edit* and *reconcile* phases run concurrently on a
+  thread pool; store access stays serialized by the store's lock (held
+  by the :class:`~repro.cdss.participant.Participant` transport around
+  every call).  Each round is three phases:
+
+  1. **edit** (parallel) — every participant generates and executes its
+     transactions.  Deterministic: the workload generator keeps an
+     independent RNG substream per participant, and a participant's
+     edits depend only on its own replica.
+  2. **publish barrier** (serial, ascending participant id) — epochs are
+     allocated in a deterministic global order, so the published prefix
+     every reconciliation sees is reproducible run to run.
+  3. **reconcile** (parallel) — sessions run concurrently.  After the
+     barrier the stable prefix is fixed and a reconciliation only reads
+     that prefix plus the participant's own record, so decisions do not
+     depend on worker interleaving.
+
+  The mode trades the paper's interleaving for throughput: within a
+  round every participant sees every other's publications of that round
+  (under the serial schedule, participant 1 reconciles before
+  participant 2 publishes).  Reports and decisions are reproducible for
+  a given mode; the two modes are distinct, equally valid schedules.
+
+Wall-clock wins come from overlapping whatever does not hold the store
+lock: the GIL-free portions of local work (sqlite instances release it)
+and, chiefly, store latency — with a ``real_latency`` store the injected
+per-message delays are slept outside the lock, and the threaded
+scheduler overlaps different participants' waits exactly as concurrent
+clients of a real networked store would
+(``benchmarks/test_perf_scheduler.py`` pins the win on a 16-peer run).
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Type
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.cdss.participant import Participant
+    from repro.confed.confederation import Confederation
+    from repro.confed.config import ConfederationConfig
+
+
+class EpochScheduler(abc.ABC):
+    """Executes a confederation's evaluation schedule."""
+
+    #: The ``schedule_mode`` name this scheduler answers to.
+    name: str
+
+    @abc.abstractmethod
+    def run(self, confederation: "Confederation") -> None:
+        """Run every configured round (and the final reconcile pass)."""
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def edit_phase(
+        confederation: "Confederation", participant: "Participant"
+    ) -> int:
+        """One participant's edit phase: generate and execute
+        ``reconciliation_interval`` transactions; returns how many were
+        actually produced (the generator may skip on a saturated
+        domain)."""
+        executed = 0
+        for _ in range(confederation.config.reconciliation_interval):
+            updates = confederation.generator.transaction_updates(
+                participant.id, participant.instance
+            )
+            if updates:
+                participant.execute(updates)
+                executed += 1
+        return executed
+
+
+class SerialScheduler(EpochScheduler):
+    """The paper's strict round-robin schedule (the default)."""
+
+    name = "serial"
+
+    def run(self, confederation: "Confederation") -> None:
+        config = confederation.config
+        for round_index in range(config.rounds):
+            for participant in confederation.participants:
+                published = self.edit_phase(confederation, participant)
+                participant.publish_and_reconcile()
+                confederation.finish_scheduled_epoch(
+                    participant, round_index, published
+                )
+        if config.final_reconcile:
+            for participant in confederation.participants:
+                participant.reconcile()
+
+
+class ThreadedScheduler(EpochScheduler):
+    """Concurrent edit/reconcile phases with a publish-order barrier."""
+
+    name = "threaded"
+
+    #: Default pool ceiling.  Workers spend most of their time *waiting*
+    #: — store calls serialize on the store lock and injected latency is
+    #: slept — so the pool is sized by the peer count (capped), not by
+    #: the CPU count: overlapping waits needs threads, not cores.
+    MAX_DEFAULT_WORKERS = 32
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        """``workers=None`` sizes the pool as
+        ``min(peer count, MAX_DEFAULT_WORKERS)`` at run time."""
+        self._workers = workers
+
+    def run(self, confederation: "Confederation") -> None:
+        config = confederation.config
+        participants = confederation.participants
+        if not participants:
+            return
+        workers = self._workers or max(
+            1, min(len(participants), self.MAX_DEFAULT_WORKERS)
+        )
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="epoch"
+        ) as pool:
+            for round_index in range(config.rounds):
+                counts: List[int] = list(
+                    pool.map(
+                        lambda p: self.edit_phase(confederation, p),
+                        participants,
+                    )
+                )
+                # Deterministic publish-order barrier: epochs allocated
+                # in ascending participant id, every round.
+                for participant in participants:
+                    participant.publish()
+                list(pool.map(lambda p: p.reconcile(), participants))
+                for participant, published in zip(participants, counts):
+                    confederation.finish_scheduled_epoch(
+                        participant, round_index, published
+                    )
+            if config.final_reconcile:
+                list(pool.map(lambda p: p.reconcile(), participants))
+
+
+#: Mode name → scheduler class.  ``ConfederationConfig.SCHEDULE_MODES``
+#: must name exactly these keys; ``tests/confed/test_scheduler.py`` pins
+#: the two in sync.
+SCHEDULERS: Dict[str, Type[EpochScheduler]] = {
+    SerialScheduler.name: SerialScheduler,
+    ThreadedScheduler.name: ThreadedScheduler,
+}
+
+
+def create_scheduler(config: "ConfederationConfig") -> EpochScheduler:
+    """The scheduler a config's ``schedule_mode`` names."""
+    scheduler_cls = SCHEDULERS.get(config.schedule_mode)
+    if scheduler_cls is None:
+        raise ConfigError(
+            f"unknown schedule mode {config.schedule_mode!r}; "
+            f"available: {', '.join(sorted(SCHEDULERS))}"
+        )
+    if scheduler_cls is ThreadedScheduler:
+        return ThreadedScheduler(workers=config.schedule_workers)
+    return scheduler_cls()

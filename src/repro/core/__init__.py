@@ -12,6 +12,9 @@
   bookkeeping (applied / rejected / deferred sets, dirty values);
 * :mod:`repro.core.engine` — the client-centric ``ReconcileUpdates``
   algorithm of Figures 4-5;
+* :mod:`repro.core.session` — the transport-agnostic reconciliation
+  session wrapping the engine (consumes batches, produces decisions;
+  zero store/network knowledge);
 * :mod:`repro.core.appendonly` — the simpler append-only reconciliation of
   Definition 2;
 * :mod:`repro.core.resolution` — user-driven conflict resolution.
@@ -33,6 +36,7 @@ from repro.core.extensions import (
     TransactionGraph,
 )
 from repro.core.resolution import Resolution, resolve_conflicts
+from repro.core.session import ReconcileSession, SessionOutcome
 from repro.core.state import ParticipantState
 
 __all__ = [
@@ -45,10 +49,12 @@ __all__ = [
     "Option",
     "ParticipantState",
     "ReconcileResult",
+    "ReconcileSession",
     "Reconciler",
     "ReconciliationBatch",
     "RelevantTransaction",
     "Resolution",
+    "SessionOutcome",
     "TransactionGraph",
     "classify_conflict",
     "reconcile_append_only",

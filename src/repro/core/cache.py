@@ -43,6 +43,7 @@ across participants exact — see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
@@ -238,6 +239,15 @@ class ConflictCache:
     pair it participated in.  ``stats`` is shared with the owning
     :class:`ExtensionCache` when the engine wires them together, so one
     snapshot covers both.
+
+    Instances used as the *confederation-shared* pair memo are mutated
+    concurrently when the threaded epoch scheduler runs several
+    reconciliations at once, so every structural mutation is guarded by
+    an internal lock.  Races on content are benign by construction —
+    conflict points are a pure function of the two extension objects, so
+    two threads storing the same pair write the same value — but
+    unguarded pruning while another thread inserts would corrupt the
+    dict iteration.
     """
 
     def __init__(
@@ -252,6 +262,7 @@ class ConflictCache:
         self.enabled = enabled
         self.stats = stats if stats is not None else CacheStats()
         self.limit = limit
+        self._lock = threading.Lock()
         self._entries: Dict[
             PairKey,
             Tuple[UpdateExtension, UpdateExtension, Tuple],
@@ -299,20 +310,36 @@ class ConflictCache:
         """Record the pair's conflict points (possibly empty — cached too)."""
         if self.enabled:
             self.stats.pair_misses += 1
-            self._entries[key] = (left, right, tuple(points))
-            if self.limit is not None:
-                while len(self._entries) > self.limit:
-                    self._entries.pop(next(iter(self._entries)))
+            with self._lock:
+                self._entries[key] = (left, right, tuple(points))
+                if self.limit is not None:
+                    while len(self._entries) > self.limit:
+                        self._entries.pop(next(iter(self._entries)))
 
     def prune(self, keep: Iterable[TransactionId]) -> None:
         """Drop pairs involving roots no longer under consideration."""
         keep_set = set(keep)
-        for key in [
-            k for k in self._entries
-            if k[0] not in keep_set or k[1] not in keep_set
-        ]:
-            del self._entries[key]
+        with self._lock:
+            for key in [
+                k for k in self._entries
+                if k[0] not in keep_set or k[1] not in keep_set
+            ]:
+                del self._entries[key]
+
+    def discard(self, roots: Iterable[TransactionId]) -> None:
+        """Drop every pair involving any of ``roots`` (retirement: the
+        roots have been finally decided by every participant, so no
+        reconciliation will compare their extensions again)."""
+        drop = set(roots)
+        if not drop:
+            return
+        with self._lock:
+            for key in [
+                k for k in self._entries if k[0] in drop or k[1] in drop
+            ]:
+                del self._entries[key]
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,4 +1,4 @@
-"""Synchronous simulated network with latency and message accounting.
+"""Synchronous simulated network with latency, message, and byte accounting.
 
 Delivery model: :meth:`Network.post` enqueues a message; :meth:`Network.run`
 drains the queue in FIFO order, invoking each recipient's handler, which
@@ -6,6 +6,13 @@ may post further messages.  Each delivered message advances the simulated
 clock by the per-message latency and increments the message counter —
 messages are accounted *serially*, matching the paper's single-machine
 deployment where every hop paid its injected delay.
+
+Payload size is accounted two ways: ``fragments`` (size-bounded DHT
+messages — a large payload travels as several fragments, each paying the
+per-message latency) and ``size_bytes`` (an estimated wire size, summed
+into :attr:`Network.bytes_delivered` so protocols that ship derived data
+— e.g. store-computed update extensions — expose their bandwidth cost,
+not just their round-trip count).
 
 Failure injection: a node can be taken down; messages to a down node raise
 :class:`~repro.errors.NetworkError` by default, or are silently dropped
@@ -25,6 +32,10 @@ from repro.errors import NetworkError
 #: Default per-message latency, seconds (the paper's 500 microseconds).
 DEFAULT_LATENCY = 500e-6
 
+#: Estimated wire size of one fragment when the sender does not supply an
+#: explicit ``size_bytes`` (header + one bounded payload unit).
+DEFAULT_FRAGMENT_BYTES = 256
+
 
 @dataclass
 class Message:
@@ -34,6 +45,10 @@ class Message:
     a large payload (e.g. a transaction body with many updates) travels as
     several fragments, each paying the per-message latency.  Delivery to
     the handler still happens once, after the last fragment.
+
+    ``size_bytes`` is the estimated wire size of the whole message; 0
+    (the default) means "unspecified" and is accounted as
+    ``fragments * DEFAULT_FRAGMENT_BYTES``.
     """
 
     sender: str
@@ -41,6 +56,11 @@ class Message:
     kind: str
     payload: Dict[str, Any] = field(default_factory=dict)
     fragments: int = 1
+    size_bytes: int = 0
+
+    def wire_bytes(self) -> int:
+        """The bytes this message is accounted at."""
+        return self.size_bytes or self.fragments * DEFAULT_FRAGMENT_BYTES
 
     def __str__(self) -> str:
         return f"{self.sender} -> {self.recipient}: {self.kind}"
@@ -71,6 +91,7 @@ class Network:
         self._latency = latency
         self._drop_to_failed = drop_to_failed
         self.messages_delivered = 0
+        self.bytes_delivered = 0
         self.simulated_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -119,10 +140,13 @@ class Network:
         recipient: str,
         kind: str,
         _fragments: int = 1,
+        _size_bytes: int = 0,
         **payload: Any,
     ) -> None:
         """Convenience wrapper around :meth:`post`."""
-        self.post(Message(sender, recipient, kind, payload, _fragments))
+        self.post(
+            Message(sender, recipient, kind, payload, _fragments, _size_bytes)
+        )
 
     def run(self, max_messages: int = 1_000_000) -> int:
         """Drain the queue; returns the number of messages delivered.
@@ -140,6 +164,7 @@ class Network:
                 )
             message = self._queue.popleft()
             self.messages_delivered += message.fragments
+            self.bytes_delivered += message.wire_bytes()
             self.simulated_seconds += self._latency * message.fragments
             delivered += 1
             if message.recipient in self._failed:

@@ -19,8 +19,12 @@ honest capability flags:
   durable, ships context-free extensions and the shared pair memo;
 * ``dht`` — :class:`repro.store.dht.DhtUpdateStore` — the paper's
   distributed store (Section 5.2.2), simulated over a Pastry-style ring
-  with per-message latency accounting (Figures 6-7); clients compute
-  everything locally (``ships_context_free=False``).
+  with per-message latency and byte accounting (Figures 6-7); since
+  PR 3 its transaction controllers derive context-free extensions at
+  publish time and ship them on fetch, with a confederation-wide pair
+  memo (``ships_context_free=True``, ``shared_pair_memo=True``;
+  ``ship_context_free=False`` restores the paper's client-compute-only
+  behaviour).
 
 New backends call :func:`repro.store.registry.register_store` and become
 selectable from a :class:`repro.confed.ConfederationConfig` without any

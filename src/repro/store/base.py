@@ -16,6 +16,21 @@ client reconciliation time."  Our interface (all implementations):
 * :meth:`UpdateStore.complete_reconciliation` — record the participant's
   accept/reject/defer decisions so nothing is delivered twice.
 
+The batch protocol is the **single store contract** the session layer
+consumes: :meth:`UpdateStore.reconciliation_batch` dispatches to the
+client-centric or network-centric assembly and always attaches the
+store's declared :class:`~repro.store.registry.StoreCapabilities` so the
+decision kernel can judge shipped payloads (context-free extensions, the
+shared pair memo) without knowing the store's type.  Everything above
+the store boundary — :class:`~repro.core.session.ReconcileSession` and
+the engine — sees only the batch.
+
+Concurrency: every store carries a reentrant ``lock``.  Stores are not
+internally thread-safe; the transport layer
+(:class:`~repro.cdss.participant.Participant`) holds the lock around
+each store call, which is what lets the threaded epoch scheduler run
+many participants' sessions concurrently against one store.
+
 Performance accounting: every store tracks a :class:`PerfCounters` of
 messages exchanged and the simulated network latency they cost.  The
 central store charges one request/reply pair per API call (client-server
@@ -27,6 +42,8 @@ injected in its distributed experiments.
 from __future__ import annotations
 
 import abc
+import threading
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -80,10 +97,24 @@ class UpdateStore(abc.ABC):
     capabilities: StoreCapabilities = StoreCapabilities()
 
     def __init__(
-        self, schema: Schema, message_latency: float = DEFAULT_MESSAGE_LATENCY
+        self,
+        schema: Schema,
+        message_latency: float = DEFAULT_MESSAGE_LATENCY,
+        real_latency: bool = False,
     ) -> None:
+        """``real_latency=True`` makes the injected per-message delay
+        *real*: after a store call, the transport sleeps the simulated
+        seconds the call charged (the paper's experiments injected these
+        delays for real; by default we only account them).  The sleep
+        happens in :meth:`pay_latency`, outside the store ``lock``, so a
+        threaded schedule overlaps different participants' waits."""
         self._schema = schema
         self._message_latency = message_latency
+        self._real_latency = real_latency
+        #: Serializes store access across the threaded epoch scheduler's
+        #: workers; uncontended (and therefore near-free) under the
+        #: default serial schedule.
+        self.lock = threading.RLock()
         self.perf = PerfCounters()
 
     @property
@@ -95,6 +126,22 @@ class UpdateStore(abc.ABC):
     def message_latency(self) -> float:
         """Simulated one-way latency per message, in seconds."""
         return self._message_latency
+
+    @property
+    def real_latency(self) -> bool:
+        """True when charged latency is slept for real (see ``__init__``)."""
+        return self._real_latency
+
+    def pay_latency(self, seconds: float) -> None:
+        """Sleep ``seconds`` if this store injects real delays.
+
+        Called by the transport layer with the simulated-latency delta of
+        the store call it just made, *after* releasing the store lock —
+        concurrent sessions wait in parallel, exactly like clients of a
+        real networked store.
+        """
+        if self._real_latency and seconds > 0:
+            time.sleep(seconds)
 
     # ------------------------------------------------------------------
 
@@ -158,6 +205,24 @@ class UpdateStore(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} supports client-centric reconciliation only"
         )
+
+    def reconciliation_batch(
+        self, participant: int, network_centric: bool = False
+    ) -> ReconciliationBatch:
+        """The single batch contract the session layer consumes.
+
+        Dispatches to :meth:`begin_network_reconciliation` or
+        :meth:`begin_reconciliation` and guarantees the batch carries the
+        store's declared capability flags — the engine judges shipped
+        payloads by those flags, never by the store's concrete type.
+        """
+        if network_centric:
+            batch = self.begin_network_reconciliation(participant)
+        else:
+            batch = self.begin_reconciliation(participant)
+        if batch.capabilities is None:
+            batch.capabilities = self.capabilities
+        return batch
 
     @abc.abstractmethod
     def complete_reconciliation(

@@ -132,8 +132,9 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
         path: str = ":memory:",
         message_latency: float = DEFAULT_MESSAGE_LATENCY,
         call_overhead_seconds: float = DEFAULT_CALL_OVERHEAD,
+        real_latency: bool = False,
     ) -> None:
-        super().__init__(schema, message_latency)
+        super().__init__(schema, message_latency, real_latency=real_latency)
         self._call_overhead = call_overhead_seconds
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA journal_mode=WAL")
@@ -405,7 +406,27 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
                 self._record_decision(participant, tid, "deferred")
         if result.applied:
             self._bump_applied_version(participant)
+        self.retire_shared_entries(self._fully_decided(result))
         self._charge_call()
+
+    def _fully_decided(
+        self, result: ReconcileResult
+    ) -> List[TransactionId]:
+        """Roots of this result now finally decided by every participant."""
+        candidates = set(result.applied) | set(result.rejected)
+        if not candidates:
+            return []
+        total = len(self._policies)
+        retired: List[TransactionId] = []
+        for tid in candidates:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(DISTINCT participant) FROM decisions"
+                " WHERE ord = ? AND verdict IN ('applied', 'rejected')",
+                (self._ord_of(tid),),
+            ).fetchone()
+            if count >= total:
+                retired.append(tid)
+        return retired
 
     def _bump_applied_version(self, participant: int) -> None:
         self._applied_versions[participant] = (

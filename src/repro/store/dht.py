@@ -24,27 +24,68 @@ ring, and the store's logical roles are mapped onto them by key ownership:
 Publication follows Figure 6 message-for-message; retrieval follows
 Figure 7, including controller-side forwarding of antecedent requests so
 the reconciling peer never chases chains itself.  Every message costs the
-configured latency and is accounted serially, reproducing the paper's
+configured latency and is accounted serially (messages *and* estimated
+bytes — see :mod:`repro.net.simnet`), reproducing the paper's
 message-count-dominated cost regime.
+
+Context-free shipping (PR 3)
+----------------------------
+
+The paper's distributed store left clients to compute every update
+extension locally.  Since PR 3 the DHT has shipping parity with the
+central stores — the "distributed store + network-centric" quadrant of
+Figure 3:
+
+* **derive once at publish** — when a transaction controller stores a
+  new transaction it collects the antecedent closure from the other
+  controllers over the simulated network (``cf_fetch``/``cf_data``
+  messages, bodies paying fragment costs) and computes the transaction's
+  *context-free* update extension (flattened against an empty applied
+  set — fixed at publish time, so derived exactly once for the whole
+  confederation);
+* **ship on fetch** — root deliveries (``txn_data``) carry the derived
+  extension, charged as extra fragments/bytes on the first delivery to
+  each participant (clients cache it in soft state like bodies);
+* **shared pair memo** — the driver keeps one confederation-wide
+  :class:`~repro.core.cache.ConflictCache` attached to every batch;
+  because every client receives the *same* extension object for a given
+  (transaction, priority), the first client to compare a pair serves
+  all the others.
+
+The reconciling engine adopts a shipped extension only when its member
+closure is disjoint from the local applied set — exactly the condition
+under which it equals the local computation — so decisions are
+byte-identical to the client-computed path
+(``tests/integration/test_store_equivalence.py`` pins this).  Both
+memos use reconciliation-aware retention: once every participant holds
+a final verdict for a transaction, its controller drops the derived
+extension and the driver drops the pairs it participates in.
+``ship_context_free=False`` restores the paper's client-compute-only
+behaviour (and honestly downgrades the instance's capability flags).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.cache import ConflictCache
 from repro.core.decisions import ReconcileResult
 from repro.core.extensions import (
     ReconciliationBatch,
     RelevantTransaction,
     TransactionGraph,
+    UpdateExtension,
+    compute_update_extension,
 )
-from repro.errors import StoreError
+from repro.errors import FlattenError, StoreError
 from repro.model.schema import Schema
 from repro.model.transactions import Transaction, TransactionId
 from repro.net.ring import HashRing
 from repro.net.simnet import Message, Network, Node
 from repro.policy.acceptance import TrustPolicy
 from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
+from repro.store.network_centric import NetworkCentricMixin
 from repro.store.registry import StoreCapabilities
 
 #: Publish order is (epoch, index within epoch) flattened to one integer.
@@ -61,10 +102,31 @@ _EPOCH_STRIDE = 1_000_000
 _UPDATES_PER_FRAGMENT = 1
 
 
+#: Estimated wire bytes per update (full tuple values, often two rows) and
+#: per message header; drives the network's byte accounting.
+_UPDATE_WIRE_BYTES = 96
+_HEADER_WIRE_BYTES = 48
+
+
 def _payload_fragments(transaction: Transaction) -> int:
     """Fragments needed to ship a transaction body."""
     updates = len(transaction.updates)
     return max(1, -(-updates // _UPDATES_PER_FRAGMENT))
+
+
+def _body_bytes(transaction: Transaction) -> int:
+    """Estimated wire size of a transaction body."""
+    return _HEADER_WIRE_BYTES + _UPDATE_WIRE_BYTES * len(transaction.updates)
+
+
+def _extension_fragments(extension: UpdateExtension) -> int:
+    """Fragments needed to ship a derived context-free extension."""
+    return max(1, -(-len(extension.operations) // _UPDATES_PER_FRAGMENT))
+
+
+def _extension_bytes(extension: UpdateExtension) -> int:
+    """Estimated wire size of a derived context-free extension."""
+    return _HEADER_WIRE_BYTES + _UPDATE_WIRE_BYTES * len(extension.operations)
 
 
 class _RingView:
@@ -87,10 +149,28 @@ class _RingView:
 class _HostNode(Node):
     """One physical DHT peer, hosting whatever roles the ring assigns it."""
 
-    def __init__(self, name: str, schema: Schema, cache_bodies: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        cache_bodies: bool = True,
+        ship_context_free: bool = True,
+    ) -> None:
         super().__init__(name)
         self._schema = schema
         self._cache_bodies = cache_bodies
+        self._ship_context_free = ship_context_free
+        # In-flight context-free derivations, keyed by token: the closure
+        # bodies gathered so far and the antecedent fetches still pending.
+        self.derivations: Dict[str, Dict[str, Any]] = {}
+        # Closure bodies fetched by past derivations, kept for reuse: a
+        # dependent published later shares most of its closure with its
+        # antecedents, so each body crosses the ring to this controller
+        # at most once (bounded by the same O(history) the controllers'
+        # own transaction logs already occupy).
+        self.cf_bodies: Dict[
+            TransactionId, Tuple[Transaction, Tuple[TransactionId, ...], int]
+        ] = {}
         # Epoch-allocator role.
         self.epoch_counter = 0
         # Epoch-controller role: epoch -> record.
@@ -264,10 +344,157 @@ class _HostNode(Node):
             "antecedents": tuple(payload["antecedents"]),
             "order": payload["order"],
             "decisions": {transaction.origin: "applied"},
+            "context_free": None,
         }
         network.send(
             self.name, message.sender, "txn_stored", tid=transaction.tid
         )
+        if self._ship_context_free:
+            self._begin_cf_derivation(network, transaction.tid)
+
+    # -- context-free derivation (derive once at publish) ---------------
+
+    def _begin_cf_derivation(
+        self, network: Network, tid: TransactionId
+    ) -> None:
+        """Gather the antecedent closure and derive the transaction's
+        context-free extension.
+
+        Antecedents are always published (and hence stored) before their
+        dependents, so every body this walk requests already sits at a
+        controller.  Bodies this controller already holds — its own
+        transactions, or closure bodies fetched by earlier derivations
+        (``cf_bodies``) — are absorbed locally; only the rest cross the
+        ring as ``cf_fetch``/``cf_data`` pairs, each paying the body's
+        fragment and byte costs.  With the reuse cache, a body travels
+        to this controller at most once ever, so chains cost O(new
+        members) per publish instead of refetching the whole closure.
+        """
+        record = self.txns[tid]
+        token = f"cf:{self.name}:{tid}"
+        derivation: Dict[str, Any] = {
+            "tid": tid,
+            "bodies": {
+                tid: (record["transaction"], record["antecedents"],
+                      record["order"])
+            },
+            "pending": set(),
+            "failed": False,
+        }
+        self.derivations[token] = derivation
+        self._cf_request(network, derivation, token, record["antecedents"])
+        if not derivation["pending"]:
+            self._finish_cf_derivation(token)
+
+    def _cf_local_body(self, tid: TransactionId):
+        """A body this controller can serve without a network fetch."""
+        record = self.txns.get(tid)
+        if record is not None:
+            return (record["transaction"], record["antecedents"],
+                    record["order"])
+        return self.cf_bodies.get(tid)
+
+    def _cf_request(
+        self, network: Network, derivation: Dict[str, Any], token: str, tids
+    ) -> None:
+        """Absorb locally-available bodies (walking their antecedents
+        too) and send ``cf_fetch`` for the rest."""
+        worklist = list(tids)
+        while worklist:
+            tid = worklist.pop()
+            if tid in derivation["bodies"] or tid in derivation["pending"]:
+                continue
+            body = self._cf_local_body(tid)
+            if body is not None:
+                derivation["bodies"][tid] = body
+                worklist.extend(body[1])
+                continue
+            derivation["pending"].add(tid)
+            network.send(
+                self.name,
+                self.ring.owner(f"txn:{tid}"),
+                "cf_fetch",
+                tid=tid,
+                token=token,
+                reply_to=self.name,
+            )
+
+    def _on_cf_fetch(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        tid: TransactionId = payload["tid"]
+        record = self.txns.get(tid)
+        if record is None:
+            network.send(
+                self.name,
+                payload["reply_to"],
+                "cf_unknown",
+                tid=tid,
+                token=payload["token"],
+            )
+            return
+        transaction = record["transaction"]
+        network.send(
+            self.name,
+            payload["reply_to"],
+            "cf_data",
+            _fragments=_payload_fragments(transaction),
+            _size_bytes=_body_bytes(transaction),
+            tid=tid,
+            transaction=transaction,
+            antecedents=record["antecedents"],
+            order=record["order"],
+            token=payload["token"],
+        )
+
+    def _on_cf_data(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        derivation = self.derivations.get(payload["token"])
+        if derivation is None or derivation["failed"]:
+            return
+        tid: TransactionId = payload["tid"]
+        derivation["pending"].discard(tid)
+        body = (
+            payload["transaction"],
+            payload["antecedents"],
+            payload["order"],
+        )
+        derivation["bodies"][tid] = body
+        self.cf_bodies.setdefault(tid, body)
+        self._cf_request(
+            network, derivation, payload["token"], payload["antecedents"]
+        )
+        if not derivation["pending"]:
+            self._finish_cf_derivation(payload["token"])
+
+    def _on_cf_unknown(self, network: Network, message: Message) -> None:
+        """Part of the closure is gone (e.g. its controller failed before
+        re-replication): abort — the root ships no extension and clients
+        fall back to local computation."""
+        derivation = self.derivations.pop(message.payload["token"], None)
+        if derivation is not None:
+            derivation["failed"] = True
+
+    def _finish_cf_derivation(self, token: str) -> None:
+        derivation = self.derivations.pop(token)
+        tid: TransactionId = derivation["tid"]
+        graph = TransactionGraph()
+        for transaction, antecedents, order in derivation["bodies"].values():
+            graph.add(transaction, antecedents, order)
+        record = self.txns[tid]
+        # Priority 0 marks "participant-agnostic"; the driver substitutes
+        # each requester's priority (memoized, so object identity — which
+        # the shared pair memo validates by — is preserved per priority).
+        root = RelevantTransaction(
+            transaction=record["transaction"],
+            priority=0,
+            order=record["order"],
+        )
+        try:
+            record["context_free"] = compute_update_extension(
+                self._schema, graph, root, frozenset()
+            )
+        except FlattenError:
+            record["context_free"] = None
 
     def _on_request_txn(self, network: Network, message: Message) -> None:
         """Figure 7: serve a transaction, forwarding antecedent requests."""
@@ -310,17 +537,29 @@ class _HostNode(Node):
             or (participant, tid) not in self.delivered
         )
         self.delivered.add((participant, tid))
+        # Ship the derived context-free extension with root deliveries
+        # (the reconciling engine only consults shipped extensions for
+        # roots).  It is derived data, but it still travels: the first
+        # delivery to each participant pays its fragments and bytes.
+        context_free = record.get("context_free") if as_root else None
+        fragments = _payload_fragments(transaction) if first_delivery else 1
+        size = _body_bytes(transaction) if first_delivery else _HEADER_WIRE_BYTES
+        if context_free is not None and first_delivery:
+            fragments += _extension_fragments(context_free)
+            size += _extension_bytes(context_free)
         network.send(
             self.name,
             client,
             "txn_data",
-            _fragments=_payload_fragments(transaction) if first_delivery else 1,
+            _fragments=fragments,
+            _size_bytes=size,
             tid=tid,
             transaction=transaction,
             antecedents=record["antecedents"],
             order=record["order"],
             priority=priority,
             as_root=as_root,
+            context_free=context_free,
         )
         # Forward requests for the antecedents directly to their
         # controllers (Figure 7, messages 3-4): the peer never has to ask.
@@ -343,11 +582,25 @@ class _HostNode(Node):
         if record is None:  # pragma: no cover - protocol guarantee
             raise StoreError(f"no such transaction {payload['tid']}")
         record["decisions"][payload["participant"]] = payload["verdict"]
+        # Reconciliation-aware retention: once every registered
+        # participant holds a final verdict the derived extension can
+        # never be requested again — drop it and tell the driver so it
+        # retires the shared pair-memo entries too.
+        retired = False
+        if record.get("context_free") is not None:
+            decisions = record["decisions"]
+            if all(
+                decisions.get(pid) in ("applied", "rejected")
+                for pid in self.policies
+            ):
+                record["context_free"] = None
+                retired = True
         network.send(
             self.name,
             message.sender,
             "decision_recorded",
             tid=payload["tid"],
+            retired=retired,
         )
 
     # -- peer coordinators ----------------------------------------------
@@ -393,16 +646,17 @@ class _ClientNode(Node):
 class DhtUpdateStore(UpdateStore):
     """Distributed update store over a simulated Pastry-style ring."""
 
-    #: Honest flags: the DHT ships no context-free extensions and no
-    #: shared pair memo (clients compute everything locally, as in the
-    #: paper's distributed implementation), is simulated in-process
-    #: (not durable), and supports client-centric reconciliation only.
-    #: Extending context-free shipping to the DHT is a ROADMAP open
-    #: item; when it lands, flipping ``ships_context_free`` here is the
-    #: only switch the engine needs.
+    #: Honest flags: since PR 3 the DHT derives context-free extensions
+    #: at publish time and ships them on fetch, and the driver keeps the
+    #: confederation-wide pair memo — shipping parity with the central
+    #: stores.  It is still simulated in-process (not durable) and does
+    #: not implement the fully store-computed batch
+    #: (``begin_network_reconciliation``): per-participant extensions
+    #: and conflict adjacency would need a distributed reconciliation
+    #: engine, future work in the paper and here.
     capabilities = StoreCapabilities(
-        ships_context_free=False,
-        shared_pair_memo=False,
+        ships_context_free=True,
+        shared_pair_memo=True,
         durable=False,
         network_centric=False,
     )
@@ -413,20 +667,38 @@ class DhtUpdateStore(UpdateStore):
         hosts: int = 4,
         message_latency: float = DEFAULT_MESSAGE_LATENCY,
         cache_bodies: bool = True,
+        ship_context_free: bool = True,
+        real_latency: bool = False,
     ) -> None:
         """``cache_bodies=False`` ablates the soft-state body cache:
         controllers re-ship full transaction payloads on every delivery,
         reproducing the round-trip-heavy behaviour the paper's early
         prototypes suffered from ("it was vital to reduce the number of
-        messages sent between the update store and each participant")."""
-        super().__init__(schema, message_latency)
+        messages sent between the update store and each participant").
+        ``ship_context_free=False`` restores the paper's
+        client-compute-only distributed store: controllers derive and
+        ship nothing, no pair memo travels, and the instance's
+        capability flags are downgraded to match."""
+        super().__init__(schema, message_latency, real_latency=real_latency)
         if hosts < 1:
             raise StoreError("the DHT needs at least one host node")
+        if not ship_context_free:
+            self.capabilities = replace(
+                type(self).capabilities,
+                ships_context_free=False,
+                shared_pair_memo=False,
+            )
+        self._ship_context_free = ship_context_free
         self._network = Network(latency=message_latency)
         host_names = [f"host:{i}" for i in range(hosts)]
         self._hosts: Dict[str, _HostNode] = {}
         for name in host_names:
-            node = _HostNode(name, schema, cache_bodies=cache_bodies)
+            node = _HostNode(
+                name,
+                schema,
+                cache_bodies=cache_bodies,
+                ship_context_free=ship_context_free,
+            )
             self._hosts[name] = node
             self._network.add_node(node)
         self._ring = _RingView(HashRing(host_names))
@@ -437,6 +709,21 @@ class DhtUpdateStore(UpdateStore):
         self._token_counter = 0
         self._failed_hosts: set = set()
         self._open_epochs: Dict[Tuple[int, int], List[TransactionId]] = {}
+        # The confederation-wide pair memo (attached to every batch) and
+        # the per-(transaction, priority) memo that re-prices controller
+        # extensions (derived at priority 0) for each requester while
+        # preserving object identity — the pair memo validates entries by
+        # identity, so every participant at one priority must receive the
+        # *same* extension object.  Retention (complete_reconciliation)
+        # is the primary eviction; the FIFO limit is the same backstop
+        # the central stores' shared memos carry.
+        self._shared_pairs = ConflictCache(
+            limit=NetworkCentricMixin.SHARED_MEMO_LIMIT
+        )
+        self._cf_priority_memo: Dict[
+            Tuple[TransactionId, int],
+            Tuple[UpdateExtension, UpdateExtension],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -542,6 +829,7 @@ class DhtUpdateStore(UpdateStore):
                 self._owner(f"txn:{transaction.tid}"),
                 "store_txn",
                 _fragments=_payload_fragments(transaction),
+                _size_bytes=_body_bytes(transaction),
                 transaction=transaction,
                 antecedents=antecedents,
                 order=order,
@@ -713,6 +1001,7 @@ class DhtUpdateStore(UpdateStore):
 
         roots: List[RelevantTransaction] = []
         graph = TransactionGraph()
+        shipped: Dict[TransactionId, UpdateExtension] = {}
         for message in client.drain():
             if message.kind != "txn_data":
                 continue
@@ -730,11 +1019,39 @@ class DhtUpdateStore(UpdateStore):
                         order=payload["order"],
                     )
                 )
-        return ReconciliationBatch(
+                extension = payload.get("context_free")
+                if extension is not None:
+                    shipped[payload["tid"]] = self._cf_with_priority(
+                        payload["tid"], extension, payload["priority"]
+                    )
+        batch = ReconciliationBatch(
             recno=stable,
             roots=sorted(roots, key=lambda r: r.order),
             graph=graph,
         )
+        if self._ship_context_free:
+            batch.extensions = shipped or None
+            batch.pair_cache = self._shared_pairs
+        return batch
+
+    def _cf_with_priority(
+        self,
+        tid: TransactionId,
+        extension: UpdateExtension,
+        priority: int,
+    ) -> UpdateExtension:
+        """The controller's extension re-priced to the requester's
+        priority, memoized per (transaction, priority) so every
+        participant at one priority sees the identical object (the
+        shared pair memo validates by object identity)."""
+        if extension.priority == priority:
+            return extension
+        key = (tid, priority)
+        entry = self._cf_priority_memo.get(key)
+        if entry is None or entry[0] is not extension:
+            entry = (extension, replace(extension, priority=priority))
+            self._cf_priority_memo[key] = entry
+        return entry[1]
 
     # ------------------------------------------------------------------
 
@@ -760,7 +1077,21 @@ class DhtUpdateStore(UpdateStore):
                 verdict=verdict,
             )
         self._run()
-        client.drain()
+        retired = [
+            message.payload["tid"]
+            for message in client.drain()
+            if message.kind == "decision_recorded"
+            and message.payload.get("retired")
+        ]
+        if retired:
+            # Controllers dropped their derived extensions; retire the
+            # driver-side shared memos for the same roots.
+            self._shared_pairs.discard(retired)
+            gone = set(retired)
+            for key in [
+                k for k in self._cf_priority_memo if k[0] in gone
+            ]:
+                del self._cf_priority_memo[key]
 
     # ------------------------------------------------------------------
     # Failure injection and recovery (Section 5.2.2's sketch)

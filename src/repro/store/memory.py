@@ -71,9 +71,12 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
     )
 
     def __init__(
-        self, schema: Schema, message_latency: float = DEFAULT_MESSAGE_LATENCY
+        self,
+        schema: Schema,
+        message_latency: float = DEFAULT_MESSAGE_LATENCY,
+        real_latency: bool = False,
     ) -> None:
-        super().__init__(schema, message_latency)
+        super().__init__(schema, message_latency, real_latency=real_latency)
         self._participants: Dict[int, _ParticipantRecord] = {}
         self._log: Dict[TransactionId, _PublishedTransaction] = {}
         self._by_epoch: Dict[int, List[TransactionId]] = {}
@@ -246,7 +249,20 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
             record.deferred.discard(tid)
         for tid in result.deferred:
             record.deferred.add(tid)
+        self.retire_shared_entries(self._fully_decided(result))
         self.perf.charge(2, self._message_latency)
+
+    def _fully_decided(self, result: ReconcileResult) -> List[TransactionId]:
+        """Roots of this result now finally decided by every participant."""
+        records = self._participants.values()
+        return [
+            tid
+            for tid in set(result.applied) | set(result.rejected)
+            if all(
+                tid in record.applied or tid in record.rejected
+                for record in records
+            )
+        ]
 
     # ------------------------------------------------------------------
 

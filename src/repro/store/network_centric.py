@@ -17,15 +17,31 @@ ones (which the store tracks).  The client then only runs ``CheckState``
 (it alone holds the materialised instance, dirty values, and its own
 delta), the cheap greedy ``DoGroup``, and application.
 
-The distributed store keeps client-centric reconciliation only, exactly
-like the paper's implementation; a fully distributed network-centric
-engine remains future work there and here.
+The distributed store does not use this mixin — it has no direct log
+access — but since PR 3 it is no longer client-compute-only: its
+transaction controllers derive context-free extensions at publish time
+and ship them on fetch, and the driver maintains the confederation-wide
+pair memo, so the DHT participates in the same "work moves into the
+network" regime (see :mod:`repro.store.dht`).  Only the *fully*
+network-centric batch (store-computed per-participant extensions and
+conflict adjacency, ``begin_network_reconciliation``) remains exclusive
+to stores with direct log access.
+
+Shared-memo retention: the context-free extension memo and the shared
+pair memo grow with the published history, but an entry is only ever
+consulted for roots some participant has still to decide.  Both memos
+are therefore pruned by *reconciliation-aware retention*
+(:meth:`NetworkCentricMixin.retire_shared_entries`): once every
+registered participant holds a final verdict (applied or rejected) for
+a root, its entry — and every pair-memo entry it participates in — is
+dropped.  Retirement is pure cache eviction: a participant registered
+later simply recomputes on miss.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.cache import ConflictCache, ExtensionCache
 from repro.core.extensions import (
@@ -103,14 +119,16 @@ class NetworkCentricMixin:
     # Context-free extensions: computed once per published transaction,
     # shared by every participant.
 
-    #: Capacity of the confederation-shared memos (context-free
-    #: extensions and pair points).  Eviction is FIFO and merely costs a
-    #: recomputation on the next miss, so the cap bounds store memory at
-    #: O(recent history) without affecting correctness.
-    SHARED_MEMO_LIMIT = 8192
+    #: Backstop capacity of the confederation-shared memos.  Retention
+    #: (:meth:`retire_shared_entries`) is the primary eviction policy;
+    #: this FIFO cap only bounds worst-case memory when retention cannot
+    #: fire — e.g. a registered participant that stops reconciling would
+    #: otherwise pin every entry forever.  Eviction merely costs a
+    #: recomputation on the next miss.
+    SHARED_MEMO_LIMIT = 65536
 
     @staticmethod
-    def _evict_fifo(memo: Dict, limit: int) -> None:
+    def _evict_fifo(memo, limit: int) -> None:
         while len(memo) > limit:
             memo.pop(next(iter(memo)))
 
@@ -122,13 +140,16 @@ class NetworkCentricMixin:
         A transaction's full antecedent closure — and hence its flattened
         extension with no applied-set filtering — is fixed at publish
         time, so the store derives it exactly once for the whole
-        confederation (the memo is keyed by transaction id, never
-        invalidated, and FIFO-capped at :attr:`SHARED_MEMO_LIMIT`
-        entries).  A participant whose applied set is disjoint from
-        the closure can adopt it as-is: the closure walk stops only at
-        applied transactions, so removing stops that are never reached
-        changes nothing.  Returns None when the footprint does not
-        flatten (the engine rejects such roots locally).
+        confederation (the memo is keyed by transaction id and never
+        invalidated; entries leave through
+        :meth:`retire_shared_entries` once every participant has
+        finally decided the root, with the :attr:`SHARED_MEMO_LIMIT`
+        FIFO backstop bounding the worst case).  A participant whose
+        applied set is disjoint from the closure can adopt it as-is:
+        the closure walk stops only at applied transactions, so
+        removing stops that are never reached changes nothing.  Returns
+        None when the footprint does not flatten (the engine rejects
+        such roots locally).
         """
         memo = getattr(self, "_nc_context_free", None)
         if memo is None:
@@ -169,6 +190,34 @@ class NetworkCentricMixin:
                 limit=self.SHARED_MEMO_LIMIT
             )
         return cache
+
+    def retire_shared_entries(self, roots) -> None:
+        """Reconciliation-aware retention for the shared memos.
+
+        ``roots`` are transaction ids every registered participant has
+        finally decided (applied or rejected).  Such a root can never
+        appear in a reconciliation batch again — the store delivers only
+        undecided transactions — so its context-free extension, and
+        every shared pair-memo entry it participates in, is dead weight
+        and is dropped here.  (Deferred roots are *not* retired: in
+        network-centric mode the store reconsiders them every round.)
+
+        With retention as the primary policy, memory tracks the
+        confederation's *open* frontier — O(undecided roots) — instead
+        of O(recent history); an entry is only FIFO-evicted (the
+        :attr:`SHARED_MEMO_LIMIT` backstop) when retention cannot keep
+        up, e.g. a registered participant that stopped reconciling.
+        """
+        roots = [tid for tid in roots]
+        if not roots:
+            return
+        memo = getattr(self, "_nc_context_free", None)
+        if memo:
+            for tid in roots:
+                memo.pop(tid, None)
+        pairs = getattr(self, "_nc_shared_pairs", None)
+        if pairs is not None:
+            pairs.discard(roots)
 
     def ship_context_free_extensions(
         self, batch: ReconciliationBatch

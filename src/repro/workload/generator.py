@@ -18,6 +18,7 @@ everyone works on the same popular proteins.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -101,7 +102,11 @@ class WorkloadGenerator:
 
     The generator is deterministic given its config seed and the sequence
     of calls; each participant gets an independent substream so adding a
-    participant does not perturb the others' workloads.
+    participant does not perturb the others' workloads.  The substream
+    independence is also what makes the threaded epoch scheduler
+    deterministic: concurrent edit phases draw from disjoint RNGs, so
+    worker interleaving cannot change any participant's stream (only the
+    lazily-created registry itself needs a lock).
     """
 
     def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
@@ -112,12 +117,15 @@ class WorkloadGenerator:
             functions=self.config.functions,
         )
         self._rngs: dict = {}
+        self._rng_lock = threading.Lock()
 
     def _rng(self, participant: int) -> random.Random:
         if participant not in self._rngs:
-            self._rngs[participant] = random.Random(
-                (self.config.seed, participant).__hash__()
-            )
+            with self._rng_lock:
+                self._rngs.setdefault(
+                    participant,
+                    random.Random((self.config.seed, participant).__hash__()),
+                )
         return self._rngs[participant]
 
     def _samplers(self, participant: int) -> Tuple[ZipfSampler, ZipfSampler]:

@@ -1,0 +1,197 @@
+"""The pluggable epoch schedulers and the session/transport split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.confed import (
+    Confederation,
+    ConfederationConfig,
+    HookBus,
+    SerialScheduler,
+    ThreadedScheduler,
+    create_scheduler,
+)
+from repro.core.session import ReconcileSession
+from repro.errors import ConfigError
+from repro.workload import WorkloadConfig
+
+
+def _config(**overrides):
+    base = dict(
+        peers=(1, 2, 3, 4),
+        reconciliation_interval=2,
+        rounds=2,
+        final_reconcile=True,
+        workload=WorkloadConfig(transaction_size=1, seed=23),
+    )
+    base.update(overrides)
+    return ConfederationConfig(**base)
+
+
+def _decision_log(config):
+    log = []
+    hooks = HookBus()
+    hooks.on_decision(
+        lambda **kw: log.append(
+            (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+        )
+    )
+    with Confederation(config, hooks=hooks) as confed:
+        report = confed.run()
+        snapshots = {
+            p.id: p.instance.snapshot() for p in confed.participants
+        }
+    # Sort by participant: the threaded schedule interleaves emission
+    # across workers, but each participant's own stream is ordered.
+    return sorted(log), snapshots, report
+
+
+class TestSelection:
+    def test_serial_is_the_default(self):
+        assert ConfederationConfig().schedule_mode == "serial"
+        assert isinstance(create_scheduler(ConfederationConfig()), SerialScheduler)
+
+    def test_threaded_selected_by_mode(self):
+        cfg = ConfederationConfig(schedule_mode="threaded", schedule_workers=3)
+        assert isinstance(create_scheduler(cfg), ThreadedScheduler)
+
+    def test_unknown_mode_rejected_by_validation(self):
+        with pytest.raises(ConfigError, match="unknown schedule mode"):
+            ConfederationConfig(schedule_mode="quantum").validate()
+
+    def test_mode_registry_matches_config_modes(self):
+        # SCHEDULE_MODES (what validate() accepts) and SCHEDULERS (what
+        # create_scheduler can build) must never drift apart.
+        from repro.confed import SCHEDULE_MODES
+        from repro.confed.scheduler import SCHEDULERS
+
+        assert set(SCHEDULERS) == set(SCHEDULE_MODES)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigError, match="schedule_workers"):
+            ConfederationConfig(schedule_workers=0).validate()
+
+    def test_schedule_keys_round_trip(self):
+        cfg = ConfederationConfig(schedule_mode="threaded", schedule_workers=8)
+        wire = cfg.to_dict()
+        assert wire["schedule_mode"] == "threaded"
+        assert wire["schedule_workers"] == 8
+        assert ConfederationConfig.from_dict(wire) == cfg
+
+
+class TestThreadedSchedule:
+    def test_threaded_run_completes_and_counts(self):
+        with Confederation(_config(schedule_mode="threaded")) as confed:
+            report = confed.run()
+        assert report.transactions_published == 4 * 2 * 2
+        assert set(report.timings) == {1, 2, 3, 4}
+        for agg in report.timings.values():
+            assert agg.reconciliations == 3  # 2 rounds + final pass
+
+    def test_threaded_decisions_are_reproducible(self):
+        first = _decision_log(_config(schedule_mode="threaded"))
+        second = _decision_log(_config(schedule_mode="threaded"))
+        assert first[0] == second[0]  # decision log
+        assert first[1] == second[1]  # replica snapshots
+        assert first[2].state_ratio == second[2].state_ratio
+
+    def test_threaded_converges_like_serial_after_full_exchange(self):
+        # The two modes interleave differently (and may decide
+        # differently mid-run), but with a final reconcile pass every
+        # replica sees every accepted update under both schedules.
+        serial = _decision_log(_config(schedule_mode="serial"))
+        threaded = _decision_log(_config(schedule_mode="threaded"))
+        assert serial[2].transactions_published == threaded[2].transactions_published
+
+    def test_threaded_works_against_the_dht_store(self):
+        config = _config(
+            store="dht",
+            store_options={"hosts": 4},
+            schedule_mode="threaded",
+            rounds=1,
+        )
+        first = _decision_log(config)
+        second = _decision_log(config)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+
+class TestEpochEndHook:
+    def test_epoch_end_emitted_per_schedule_step(self):
+        for mode in ("serial", "threaded"):
+            events = []
+            hooks = HookBus()
+            hooks.on_epoch_end(lambda **kw: events.append(kw))
+            with Confederation(
+                _config(schedule_mode=mode), hooks=hooks
+            ) as confed:
+                report = confed.run()
+            assert len(events) == 2 * 4  # rounds x peers
+            assert {e["participant"] for e in events} == {1, 2, 3, 4}
+            assert {e["round"] for e in events} == {0, 1}
+            totals = [e["total_published"] for e in events]
+            assert totals == sorted(totals)
+            assert totals[-1] == report.transactions_published
+            assert sum(e["published"] for e in events) == totals[-1]
+
+
+class TestSessionLayer:
+    def test_participant_reconcile_routes_through_the_session(self):
+        with Confederation(_config(rounds=1)) as confed:
+            participant = confed.participant(1)
+            assert isinstance(participant.session, ReconcileSession)
+            confed.run()
+
+    def test_session_is_transport_free(self):
+        """A session consumes hand-built batches with no store at all."""
+        from repro.core.engine import Reconciler
+        from repro.core.extensions import ReconciliationBatch
+        from repro.core.state import ParticipantState
+        from repro.instance.memory import MemoryInstance
+        from repro.workload import curated_schema
+
+        schema = curated_schema()
+        reconciler = Reconciler(schema, MemoryInstance(schema), ParticipantState(7))
+        session = ReconcileSession(reconciler)
+        outcome = session.run(ReconciliationBatch(recno=3))
+        assert outcome.result.recno == 3
+        assert outcome.upstream.deferred == []
+        assert outcome.local_seconds >= 0.0
+
+    def test_session_upstream_filters_re_deferrals(self):
+        """Only newly deferred roots travel upstream."""
+        from repro.core.engine import Reconciler
+        from repro.core.extensions import (
+            ReconciliationBatch,
+            RelevantTransaction,
+        )
+        from repro.core.state import ParticipantState
+        from repro.instance.memory import MemoryInstance
+        from repro.model import Insert, Transaction, TransactionId
+        from repro.workload import curated_schema
+
+        schema = curated_schema()
+        state = ParticipantState(7)
+        reconciler = Reconciler(schema, MemoryInstance(schema), state)
+        session = ReconcileSession(reconciler)
+
+        left = Transaction(
+            TransactionId(1, 0), (Insert("F", ("rat", "p1", "fn-a"), 1),)
+        )
+        right = Transaction(
+            TransactionId(2, 0), (Insert("F", ("rat", "p1", "fn-b"), 2),)
+        )
+        batch = ReconciliationBatch(recno=1)
+        for order, txn in enumerate((left, right)):
+            batch.graph.add(txn, (), order)
+            batch.roots.append(
+                RelevantTransaction(transaction=txn, priority=1, order=order)
+            )
+        outcome = session.run(batch)
+        assert sorted(map(str, outcome.upstream.deferred)) == ["X1:0", "X2:0"]
+
+        # Same conflict next epoch: re-deferred locally, silent upstream.
+        again = session.run(ReconciliationBatch(recno=2))
+        assert sorted(map(str, again.result.deferred)) == ["X1:0", "X2:0"]
+        assert again.upstream.deferred == []

@@ -28,4 +28,5 @@ def test_example_runs_cleanly(script):
 def test_examples_exist():
     names = {path.name for path in EXAMPLES}
     assert "quickstart.py" in names
+    assert "dht_network_centric.py" in names
     assert len(EXAMPLES) >= 3

@@ -4,6 +4,12 @@ The same seeded workload, replayed through the memory, central-sqlite,
 and simulated-DHT stores, must leave every participant with an identical
 instance and identical decision bookkeeping — the stores may only differ
 in cost, never in outcome.
+
+Since PR 3 this also pins the DHT's shipping parity: the DHT with
+store-derived context-free extensions (and the shared pair memo), the
+DHT computing everything client-side, and the central store must make
+*byte-identical* accept/reject/defer decisions, in the same order, at
+every reconciliation.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cdss import Simulation, SimulationConfig
+from repro.confed import Confederation, ConfederationConfig, HookBus
 from repro.store import CentralUpdateStore, DhtUpdateStore, MemoryUpdateStore
 from repro.workload import WorkloadConfig, curated_schema
 
@@ -53,3 +60,49 @@ def test_stores_produce_identical_outcomes(seed):
     assert memory[0] == central[0] == dht[0]  # instances
     assert memory[1] == central[1] == dht[1]  # decisions
     assert memory[2] == central[2] == dht[2]  # state ratio
+
+
+# ----------------------------------------------------------------------
+# PR 3: byte-identical decision pins for DHT shipping parity
+
+
+def run_with_decision_log(store_name, store_options, seed):
+    """Replay the seeded evaluation schedule, recording every decision
+    event (participant, recno, tid, verdict) in emission order."""
+    config = ConfederationConfig(
+        store=store_name,
+        store_options=store_options,
+        peers=(1, 2, 3, 4, 5),
+        reconciliation_interval=3,
+        rounds=3,
+        final_reconcile=True,
+        workload=WorkloadConfig(transaction_size=2, seed=seed),
+    )
+    log = []
+    hooks = HookBus()
+    hooks.on_decision(
+        lambda **kw: log.append(
+            (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+        )
+    )
+    with Confederation(config, hooks=hooks) as confed:
+        report = confed.run()
+        snapshots = {
+            p.id: p.instance.snapshot() for p in confed.participants
+        }
+    return log, snapshots, report.state_ratio
+
+
+@pytest.mark.parametrize("seed", [7, 29])
+def test_dht_shipping_decisions_byte_identical(seed):
+    shipped = run_with_decision_log("dht", {"hosts": 5}, seed)
+    client_computed = run_with_decision_log(
+        "dht", {"hosts": 5, "ship_context_free": False}, seed
+    )
+    central = run_with_decision_log("central", {}, seed)
+    # The decision *stream* — order included — must match exactly:
+    # adopting a shipped extension is only legal when it provably equals
+    # the local computation.
+    assert shipped[0] == client_computed[0] == central[0]
+    assert shipped[1] == client_computed[1] == central[1]
+    assert shipped[2] == client_computed[2] == central[2]

@@ -34,6 +34,26 @@ class TestNetwork:
         assert net.simulated_seconds == pytest.approx(0.002)
         assert [m.kind for m in a.received] == ["pong"]
 
+    def test_bytes_accounted_per_message(self):
+        from repro.net.simnet import DEFAULT_FRAGMENT_BYTES
+
+        net = Network(latency=0.001)
+        a, b = EchoNode("a"), EchoNode("b")
+        net.add_node(a)
+        net.add_node(b)
+        # Explicit size wins; unspecified sizes default per fragment —
+        # the echo reply is 1 fragment, the 3-fragment probe is charged
+        # at three defaults.
+        net.send("a", "b", "ping", _size_bytes=1000)
+        net.run()
+        net.send("a", "b", "probe", _fragments=3)
+        net.run()
+        assert net.bytes_delivered == (
+            1000
+            + DEFAULT_FRAGMENT_BYTES  # pong reply to the ping
+            + 3 * DEFAULT_FRAGMENT_BYTES  # unanswered probe
+        )
+
     def test_duplicate_node_rejected(self):
         net = Network()
         net.add_node(EchoNode("a"))

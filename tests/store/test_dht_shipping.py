@@ -1,0 +1,200 @@
+"""DHT context-free shipping: derivation at publish, shipping on fetch,
+the shared pair memo, retention, and partial-failure degradation."""
+
+from __future__ import annotations
+
+from repro.model import Insert, Modify
+from repro.model.transactions import Transaction, TransactionId
+from repro.policy import TrustPolicy
+from repro.store import DhtUpdateStore
+
+
+def mutual_policy(pid, ids, priority=1):
+    policy = TrustPolicy()
+    for other in ids:
+        if other != pid:
+            policy.trust_participant(other, priority)
+    return policy
+
+
+def dht_store(schema, hosts=4, **options):
+    store = DhtUpdateStore(schema, hosts=hosts, **options)
+    for pid in (1, 2, 3):
+        store.register_participant(pid, mutual_policy(pid, (1, 2, 3)))
+    return store
+
+
+class TestDerivationAndShipping:
+    def test_extension_derived_at_publish(self, schema):
+        store = dht_store(schema)
+        txn = Transaction(
+            TransactionId(1, 0), (Insert("F", ("rat", "p1", "fn-a"), 1),)
+        )
+        store.publish(1, [txn])
+        controller = store._hosts[store._owner(f"txn:{txn.tid}")]
+        extension = controller.txns[txn.tid]["context_free"]
+        assert extension is not None
+        assert extension.members == (txn.tid,)
+
+    def test_derivation_walks_the_antecedent_chain(self, schema):
+        store = dht_store(schema)
+        a = Transaction(
+            TransactionId(1, 0), (Insert("F", ("rat", "p1", "fn-a"), 1),)
+        )
+        store.publish(1, [a])
+        b = Transaction(
+            TransactionId(1, 1),
+            (Modify("F", ("rat", "p1", "fn-a"), ("rat", "p1", "fn-b"), 1),),
+        )
+        store.publish(1, [b])
+        controller = store._hosts[store._owner(f"txn:{b.tid}")]
+        extension = controller.txns[b.tid]["context_free"]
+        assert extension is not None
+        # Context-free = full closure: both members, flattened to one net op.
+        assert set(extension.members) == {a.tid, b.tid}
+        assert len(extension.operations) == 1
+
+    def test_batch_ships_extensions_and_pair_memo(self, schema):
+        store = dht_store(schema)
+        txn = Transaction(
+            TransactionId(1, 0), (Insert("F", ("rat", "p1", "fn-a"), 1),)
+        )
+        store.publish(1, [txn])
+        batch2 = store.begin_reconciliation(2)
+        batch3 = store.begin_reconciliation(3)
+        assert batch2.extensions is not None and txn.tid in batch2.extensions
+        assert batch2.pair_cache is store._shared_pairs
+        # Same priority => the identical object for every participant —
+        # the invariant the pair memo's identity validation relies on.
+        assert batch2.extensions[txn.tid] is batch3.extensions[txn.tid]
+        assert batch2.extensions[txn.tid].priority == 1
+
+    def test_shipping_charges_messages_and_bytes(self, schema):
+        shipping = dht_store(schema)
+        plain = dht_store(schema, ship_context_free=False)
+        txn = Transaction(
+            TransactionId(1, 0),
+            (
+                Insert("F", ("rat", "p1", "fn-a"), 1),
+                Insert("F", ("rat", "p2", "fn-b"), 1),
+            ),
+        )
+        for store in (shipping, plain):
+            store.publish(1, [txn])
+            store.begin_reconciliation(2)
+        # Derivation and shipping are not free: the shipping store moved
+        # more messages and more bytes for the same history.
+        assert shipping.perf.messages > plain.perf.messages
+        assert shipping.network.bytes_delivered > plain.network.bytes_delivered
+
+    def test_engine_adopts_dht_shipped_extension(self, schema):
+        from repro.cdss.participant import Participant
+
+        store = DhtUpdateStore(schema, hosts=4)
+        store.register_participant(1, mutual_policy(1, (1, 2)))
+        publisher = Participant(1, store, mutual_policy(1, (1, 2)), register=False)
+        receiver = Participant(2, store, mutual_policy(2, (1, 2)))
+        publisher.execute([Insert("F", ("rat", "p1", "fn-a"), 1)])
+        publisher.publish()
+        result = receiver.reconcile()
+        assert len(result.accepted) == 1
+        assert receiver.reconciler.cache.stats.shipped == 1
+
+
+class TestRetention:
+    def test_controller_drops_extension_once_everyone_decided(self, schema):
+        store = dht_store(schema)
+        txn = Transaction(
+            TransactionId(1, 0), (Insert("F", ("rat", "p1", "fn-a"), 1),)
+        )
+        store.publish(1, [txn])
+        controller = store._hosts[store._owner(f"txn:{txn.tid}")]
+
+        from repro.core.decisions import ReconcileResult
+
+        result = ReconcileResult(recno=1, applied=[txn.tid])
+        store.complete_reconciliation(2, result)
+        assert controller.txns[txn.tid]["context_free"] is not None
+        store.complete_reconciliation(3, result)
+        # Origin applied at publish + 2 and 3 applied: fully decided.
+        assert controller.txns[txn.tid]["context_free"] is None
+
+
+class TestPartialFailure:
+    def test_lost_root_degrades_to_partial_batch(self, schema):
+        """A failed transaction controller loses body and extension; the
+        surviving roots still reconcile, shipped extensions included."""
+        store = dht_store(schema, hosts=self._hosts_isolating_first_txn())
+        a = Transaction(
+            TransactionId(1, 0), (Insert("F", ("rat", "p1", "fn-a"), 1),)
+        )
+        b = Transaction(
+            TransactionId(3, 0), (Insert("F", ("rat", "p2", "fn-b"), 3),)
+        )
+        store.publish(1, [a])
+        store.publish(3, [b])
+        victim = store._owner(f"txn:{a.tid}")
+        assert store._owner(f"txn:{b.tid}") != victim
+        store.fail_host(victim)
+        batch = store.begin_reconciliation(2)
+        tids = [root.tid for root in batch.roots]
+        assert a.tid not in tids  # lost with its controller
+        assert b.tid in tids
+        assert batch.extensions is not None and b.tid in batch.extensions
+
+    @staticmethod
+    def _hosts_isolating_first_txn():
+        """A host count whose ring layout gives ``txn:X1:0`` a controller
+        that owns none of the other roles this scenario touches — so
+        failing it loses exactly one transaction record."""
+        from repro.net.ring import HashRing
+
+        other_roles = (
+            "epoch-allocator",
+            "peer:1",
+            "peer:2",
+            "peer:3",
+            "epoch:1",
+            "epoch:2",
+            "txn:X3:0",
+            "value:F:('rat', 'p1', 'fn-a')",
+            "value:F:('rat', 'p1', 'fn-b')",
+        )
+        for hosts in range(4, 24):
+            ring = HashRing([f"host:{i}" for i in range(hosts)])
+            victim = ring.owner("txn:X1:0")
+            if all(ring.owner(role) != victim for role in other_roles):
+                return hosts
+        raise AssertionError("no isolating ring layout found")
+
+    def test_failed_antecedent_controller_aborts_derivation(self, schema):
+        """cf_fetch hitting a takeover node aborts the derivation; the
+        dependent publishes fine and ships no extension, and a client
+        that already applied the antecedent still reconciles it."""
+        from repro.cdss.participant import Participant
+
+        store = DhtUpdateStore(schema, hosts=self._hosts_isolating_first_txn())
+        ids = (1, 2, 3)
+        store.register_participant(1, mutual_policy(1, ids))
+        p1 = Participant(1, store, mutual_policy(1, ids), register=False)
+        p2 = Participant(2, store, mutual_policy(2, ids))
+        p3 = Participant(3, store, mutual_policy(3, ids))
+
+        p1.execute([Insert("F", ("rat", "p1", "fn-a"), 1)])
+        p1.publish()
+        p2.reconcile()  # both peers apply the antecedent
+        p3.reconcile()
+        a_tid = TransactionId(1, 0)
+
+        store.fail_host(store._owner(f"txn:{a_tid}"))
+        p3.execute(
+            [Modify("F", ("rat", "p1", "fn-a"), ("rat", "p1", "fn-b"), 3)]
+        )
+        p3.publish()
+        b_tid = TransactionId(3, 0)
+        controller = store._hosts[store._owner(f"txn:{b_tid}")]
+        assert controller.txns[b_tid]["context_free"] is None
+
+        result = p2.reconcile()
+        assert b_tid in result.accepted
+        assert p2.instance.contains_row("F", ("rat", "p1", "fn-b"))

@@ -50,12 +50,22 @@ class TestCapabilityFlags:
             assert caps.network_centric
 
     def test_dht_flags_are_honest(self):
-        # The DHT ships nothing and computes client-side: the engine must
-        # see that from the flags, never from isinstance checks.
+        # Since PR 3 the DHT derives context-free extensions at publish
+        # and ships them on fetch, with the shared pair memo; only the
+        # fully store-computed batch remains unimplemented.
         caps = store_capabilities("dht")
-        assert not caps.ships_context_free
-        assert not caps.shared_pair_memo
+        assert caps.ships_context_free
+        assert caps.shared_pair_memo
         assert not caps.network_centric
+
+    def test_dht_shipping_opt_out_downgrades_instance_flags(self):
+        # ship_context_free=False restores the paper's client-compute-only
+        # store; the instance's flags must honestly say so.
+        store = create_store(
+            "dht", curated_schema(), hosts=2, ship_context_free=False
+        )
+        assert not store.capabilities.ships_context_free
+        assert not store.capabilities.shared_pair_memo
 
     def test_only_central_is_durable(self):
         assert store_capabilities("central").durable
@@ -70,10 +80,12 @@ class TestCapabilityFlags:
             store = create_store(name, schema)
             assert store.capabilities == store_capabilities(name)
 
-    def test_dht_batches_ship_nothing(self):
+    def test_unshipping_dht_batches_ship_nothing(self):
         from repro.policy import TrustPolicy
 
-        store = create_store("dht", curated_schema(), hosts=2)
+        store = create_store(
+            "dht", curated_schema(), hosts=2, ship_context_free=False
+        )
         store.register_participant(1, TrustPolicy().trust_all(1))
         batch = store.begin_reconciliation(1)
         assert batch.extensions is None

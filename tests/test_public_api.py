@@ -21,13 +21,16 @@ EXPECTED_ALL = {
     "CDSS",
     "Simulation",
     "SimulationConfig",
-    # Participants and the engine
+    # Participants, the engine, and the session/scheduler layers (PR 3)
     "Decision",
     "Participant",
     "ParticipantState",
     "ReconcileResult",
+    "ReconcileSession",
     "Reconciler",
     "Resolution",
+    "SerialScheduler",
+    "ThreadedScheduler",
     "resolve_conflicts",
     # Stores and the driver registry
     "CentralUpdateStore",
@@ -114,9 +117,12 @@ def test_registry_capability_snapshot():
         "durable": True,
         "network_centric": True,
     }
+    # PR 3: the DHT has shipping parity (store-side context-free
+    # derivation + the shared pair memo); only the fully store-computed
+    # batch remains central-store-only.
     assert store_capabilities("dht").as_dict() == {
-        "ships_context_free": False,
-        "shared_pair_memo": False,
+        "ships_context_free": True,
+        "shared_pair_memo": True,
         "durable": False,
         "network_centric": False,
     }
@@ -130,4 +136,5 @@ def test_hook_event_names_are_stable():
         "conflict",
         "cache_stats",
         "reconcile",
+        "epoch_end",
     )
