@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
-"""Fail CI when the engine benchmark regresses past a threshold.
+"""Fail CI when a perf benchmark regresses past a threshold.
 
-Compares a freshly emitted ``BENCH_engine.json`` against the committed
-baseline (``benchmarks/BENCH_baseline.json``).  The primary metric is
-the *speedup* ratio (cached engine vs. the seed-path baseline, both
-measured in the same process on the same host) because it is
-dimensionless — absolute seconds vary wildly across CI runners, but
-both sides of the ratio move with the machine.
+Compares freshly emitted benchmark points (``BENCH_engine.json``,
+``BENCH_dht_nc.json``, ...) against the committed baseline
+(``benchmarks/BENCH_baseline.json``).  The primary metric of every point
+is its *speedup* ratio (both sides measured in the same process on the
+same host) because it is dimensionless — absolute seconds vary wildly
+across CI runners, but both sides of the ratio move with the machine.
 
-Exit status 1 when the fresh speedup drops more than ``--threshold``
-(default 20%) below the baseline speedup.
+The baseline file maps benchmark names to points::
+
+    {"schema_version": 2,
+     "benchmarks": {"engine_reconciliation": {"speedup": ...},
+                    "dht_network_centric": {"speedup": ...}}}
+
+(a legacy flat baseline holding a single point with a ``benchmark`` key
+is still understood).  Each fresh file names its benchmark in its
+``benchmark`` key and is gated against the matching baseline entry.
+
+Exit status 1 when any fresh speedup drops more than ``--threshold``
+(default 20%) below its baseline.
 
 Usage:
     python benchmarks/check_regression.py BENCH_engine.json \\
-        benchmarks/BENCH_baseline.json [--threshold 0.20]
+        BENCH_dht_nc.json [--baseline benchmarks/BENCH_baseline.json] \\
+        [--threshold 0.20]
 """
 
 from __future__ import annotations
@@ -22,9 +33,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Dict
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
 
-def load_point(path: Path) -> dict:
+def load_json(path: Path) -> dict:
     try:
         return json.loads(path.read_text())
     except FileNotFoundError:
@@ -33,10 +47,61 @@ def load_point(path: Path) -> dict:
         sys.exit(f"check_regression: {path} is not valid JSON: {exc}")
 
 
+def baseline_points(path: Path) -> Dict[str, dict]:
+    """The committed baseline as {benchmark name: point}."""
+    data = load_json(path)
+    if "benchmarks" in data:
+        return dict(data["benchmarks"])
+    name = data.get("benchmark")
+    if name is None:
+        sys.exit(
+            f"check_regression: {path} has neither a 'benchmarks' map nor "
+            f"a legacy 'benchmark' key"
+        )
+    return {name: data}
+
+
+def check_point(fresh: dict, baseline: dict, threshold: float) -> bool:
+    """Print the comparison; True when the fresh point passes."""
+    name = fresh["benchmark"]
+    try:
+        fresh_speedup = float(fresh["speedup"])
+        baseline_speedup = float(baseline["speedup"])
+    except KeyError as exc:
+        sys.exit(
+            f"check_regression: missing key {exc} in a {name!r} point"
+        )
+    floor = baseline_speedup * (1.0 - threshold)
+    drop = 1.0 - fresh_speedup / baseline_speedup
+    print(
+        f"{name}: fresh {fresh_speedup:.2f}x vs baseline "
+        f"{baseline_speedup:.2f}x (drop {drop:+.1%}, tolerated "
+        f"{threshold:.0%}, floor {floor:.2f}x)"
+    )
+    if fresh_speedup < floor:
+        print(
+            f"REGRESSION in {name}: fresh speedup fell below the tolerated "
+            f"floor — either fix the slowdown or update "
+            f"benchmarks/BENCH_baseline.json with a justification in the PR."
+        )
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", type=Path, help="just-emitted BENCH_engine.json")
-    parser.add_argument("baseline", type=Path, help="committed baseline point")
+    parser.add_argument(
+        "fresh",
+        type=Path,
+        nargs="+",
+        help="just-emitted benchmark point files (BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline file (default: benchmarks/BENCH_baseline.json)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -45,29 +110,22 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = load_point(args.fresh)
-    baseline = load_point(args.baseline)
-    try:
-        fresh_speedup = float(fresh["speedup"])
-        baseline_speedup = float(baseline["speedup"])
-    except KeyError as exc:
-        sys.exit(f"check_regression: missing key {exc} in a benchmark point")
-
-    floor = baseline_speedup * (1.0 - args.threshold)
-    drop = 1.0 - fresh_speedup / baseline_speedup
-    print(
-        f"engine speedup: fresh {fresh_speedup:.2f}x vs baseline "
-        f"{baseline_speedup:.2f}x (drop {drop:+.1%}, tolerated "
-        f"{args.threshold:.0%}, floor {floor:.2f}x)"
-    )
-    if fresh_speedup < floor:
-        print(
-            "REGRESSION: fresh speedup fell below the tolerated floor — "
-            "either fix the slowdown or update benchmarks/BENCH_baseline.json "
-            "with a justification in the PR."
-        )
-        return 1
-    return 0
+    baselines = baseline_points(args.baseline)
+    failed = False
+    for path in args.fresh:
+        fresh = load_json(path)
+        name = fresh.get("benchmark")
+        if name is None:
+            sys.exit(f"check_regression: {path} lacks a 'benchmark' key")
+        baseline = baselines.get(name)
+        if baseline is None:
+            sys.exit(
+                f"check_regression: no baseline for {name!r} in "
+                f"{args.baseline}; known: {sorted(baselines)}"
+            )
+        if not check_point(fresh, baseline, args.threshold):
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -13,8 +13,12 @@ stores: transaction controllers derive each transaction's *context-free*
 update extension once, at publish time, by collecting the antecedent
 closure over the ring, and ship it with root deliveries; a
 confederation-wide pair memo lets the first peer to compare two shipped
-extensions serve all the others.  This example runs that quadrant end to
-end — DHT store, shipped extensions, and the threaded epoch scheduler —
+extensions serve all the others.  PR 5 finished the job: with
+``network_centric="store"`` the DHT serves *fully-assembled*
+per-participant batches — controllers derive each participant's
+extensions against that participant's applied set and the conflict
+adjacency arrives precomputed, so the client only checks state, groups,
+and applies.  This example runs the quadrant end to end in both flavours
 and shows the work moving off the clients.
 
 Run with:  python examples/dht_network_centric.py
@@ -27,7 +31,11 @@ from repro.store import store_capabilities
 from repro.workload import WorkloadConfig
 
 
-def run(ship_context_free: bool, schedule_mode: str = "serial"):
+def run(
+    ship_context_free: bool,
+    schedule_mode: str = "serial",
+    network_centric="client",
+):
     """One seeded confederation over the DHT; returns (report, confed stats)."""
     config = ConfederationConfig(
         store="dht",
@@ -37,6 +45,7 @@ def run(ship_context_free: bool, schedule_mode: str = "serial"):
         rounds=3,
         final_reconcile=True,
         schedule_mode=schedule_mode,
+        network_centric=network_centric,
         workload=WorkloadConfig(transaction_size=2, seed=31),
     )
     decisions = []
@@ -88,6 +97,24 @@ def main() -> None:
     assert shipped_decisions == local_decisions
     assert shipped.state_ratio == local.state_ratio
     print("\nDecision streams are byte-identical with shipping on and off.")
+
+    # PR 5: the *fully* network-centric batch — the store derives each
+    # participant's extensions against its applied set and assembles the
+    # conflict adjacency; the client skips its two heaviest phases.
+    nc, nc_decisions, nc_bytes = run(
+        ship_context_free=True, network_centric="store"
+    )
+    n = nc.cache_stats
+    print(
+        f"\nnetwork_centric='store' (fully-assembled batches):\n"
+        f"  {n.misses:4d} local computations, "
+        f"{n.shipped:4d} adopted pre-assembled, "
+        f"network bytes {nc_bytes}"
+    )
+    assert n.misses < s.misses, "store-computed batches do the least client work"
+    assert nc_decisions == local_decisions
+    assert nc.state_ratio == local.state_ratio
+    print("Decision streams stay byte-identical with store-computed batches.")
 
     # The same quadrant under the threaded epoch scheduler: independent
     # peers' sessions run concurrently between publish-order barriers,

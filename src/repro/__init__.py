@@ -44,6 +44,7 @@ from repro.errors import (
     ReconciliationError,
     ReproError,
     ResolutionError,
+    SchedulerError,
     SchemaError,
     StoreError,
     UnknownTransactionError,
@@ -177,6 +178,7 @@ __all__ = [
     "ReproError",
     "ResolutionError",
     "Schema",
+    "SchedulerError",
     "SchemaError",
     "StoreError",
     "Transaction",

@@ -221,27 +221,29 @@ class Participant:
         charges.  The wall clock starts *after* the lock is acquired —
         contention wait is scheduling, not store cost, and counting it
         would inflate every participant's store bars under the threaded
-        schedule.  Any configured real latency is paid after the lock is
-        released, so concurrent sessions wait in parallel.  Stores
-        without the lock/latency attributes (minimal test doubles) are
-        called directly.
+        schedule.  Any configured real latency is paid through
+        ``store.pay_latency`` after the lock is released, so concurrent
+        sessions wait in parallel — ``pay_latency`` is part of the
+        :class:`~repro.store.base.UpdateStore` contract (it used to be
+        reached through ``getattr``, which let a third-party driver
+        missing the method skip latency payment silently).  Stores
+        without the ``lock`` attribute (minimal test doubles that are
+        not real :class:`UpdateStore`\\ s) are called directly and
+        charge nothing, so there is nothing to pay.
         """
         store = self.store
         lock = getattr(store, "lock", None)
         if lock is None:
             started = time.perf_counter()
             result = method(*args)
-            delta = PerfCounters()
-        else:
-            with lock:
-                started = time.perf_counter()
-                before = store.perf.snapshot()
-                result = method(*args)
-                delta = store.perf.minus(before)
+            return result, PerfCounters(), time.perf_counter() - started
+        with lock:
+            started = time.perf_counter()
+            before = store.perf.snapshot()
+            result = method(*args)
+            delta = store.perf.minus(before)
         elapsed = time.perf_counter() - started
-        pay = getattr(store, "pay_latency", None)
-        if pay is not None:
-            pay(delta.simulated_seconds)
+        store.pay_latency(delta.simulated_seconds)
         return result, delta, elapsed
 
     def publish(self) -> int:

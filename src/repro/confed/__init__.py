@@ -27,6 +27,7 @@ remain as deprecation shims delegating here.
 
 from repro.confed.config import (
     INSTANCE_BACKENDS,
+    NETWORK_CENTRIC_MODES,
     SCHEDULE_MODES,
     ConfederationConfig,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "EpochScheduler",
     "HookBus",
     "INSTANCE_BACKENDS",
+    "NETWORK_CENTRIC_MODES",
     "ParticipantSnapshot",
     "SCHEDULE_MODES",
     "SerialScheduler",

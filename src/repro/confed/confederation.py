@@ -128,11 +128,14 @@ class Confederation:
             self._store = create_store(
                 self.config.store, schema, **self.config.store_options
             )
-        if self.config.network_centric and not self._store.capabilities.network_centric:
+        if (
+            self.config.network_centric_store
+            and not self._store.capabilities.network_centric_batches
+        ):
             raise ConfigError(
                 f"store backend {type(self._store).__name__} does not "
-                f"support network-centric reconciliation "
-                f"(capabilities.network_centric is False)"
+                f"support store-computed reconciliation batches "
+                f"(capabilities.network_centric_batches is False)"
             )
         self._opened = True
         for pid in self.config.peers:
@@ -223,7 +226,7 @@ class Confederation:
             self.store,
             policy,
             instance if instance is not None else self._make_instance(),
-            network_centric=self.config.network_centric,
+            network_centric=self.config.network_centric_store,
             engine_caching=self.config.engine_caching,
             hooks=self.hooks,
         )
@@ -356,7 +359,7 @@ class Confederation:
             self.store,
             current.policy,
             instance,
-            network_centric=self.config.network_centric,
+            network_centric=self.config.network_centric_store,
             engine_caching=self.config.engine_caching,
             hooks=self.hooks,
         )

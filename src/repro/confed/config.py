@@ -12,13 +12,21 @@ and version control instead of scattered constructor calls.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.workload.generator import WorkloadConfig
 
 #: Instance backends a participant's local replica can use, by name.
 INSTANCE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite")
+
+#: Accepted values of ``ConfederationConfig.network_centric``.  The
+#: named forms are canonical since PR 5: ``"client"`` (the paper's
+#: client-centric reconciliation) and ``"store"`` (the store computes
+#: per-participant extensions and conflict adjacency —
+#: ``begin_network_reconciliation``).  The booleans are their legacy
+#: spellings and round-trip unchanged.
+NETWORK_CENTRIC_MODES: Tuple[object, ...] = (False, True, "client", "store")
 
 #: Epoch-scheduler modes :meth:`repro.confed.Confederation.run` can use
 #: (see :mod:`repro.confed.scheduler`).
@@ -40,8 +48,14 @@ class ConfederationConfig:
       (``{pid: {other_pid: priority}}``); ``None`` means the evaluation
       section's setting: every peer trusts every other at
       ``trust_priority``, so conflicts can only be resolved manually;
-    * ``network_centric`` / ``engine_caching`` — engine knobs (Figure
-      3's reconciliation mode; the PR 1 incremental caches);
+    * ``network_centric`` / ``engine_caching`` — engine knobs.
+      ``network_centric`` picks Figure 3's reconciliation column:
+      ``"client"`` (or ``False``, the default) computes extensions and
+      conflicts at each participant; ``"store"`` (or the legacy ``True``)
+      asks the store for fully-assembled batches
+      (``begin_network_reconciliation`` — requires a backend declaring
+      ``network_centric_batches``, which all three built-ins do since
+      PR 5).  ``engine_caching`` toggles the PR 1 incremental caches;
     * ``workload`` plus ``reconciliation_interval`` / ``rounds`` /
       ``final_reconcile`` — the evaluation schedule
       :meth:`repro.confed.Confederation.run` executes;
@@ -60,7 +74,7 @@ class ConfederationConfig:
     peers: Tuple[int, ...] = ()
     trust: Optional[Dict[int, Dict[int, int]]] = None
     trust_priority: int = 1
-    network_centric: bool = False
+    network_centric: Union[bool, str] = False
     engine_caching: bool = True
     workload: Optional[WorkloadConfig] = None
     reconciliation_interval: int = 4
@@ -114,7 +128,23 @@ class ConfederationConfig:
             )
         if self.schedule_workers is not None and self.schedule_workers < 1:
             raise ConfigError("schedule_workers must be >= 1 (or None)")
+        if not any(
+            type(self.network_centric) is type(mode)
+            and self.network_centric == mode
+            for mode in NETWORK_CENTRIC_MODES
+        ):
+            raise ConfigError(
+                f"unknown network_centric mode {self.network_centric!r}; "
+                f"accepted: False/'client' (client-centric), "
+                f"True/'store' (store-computed batches)"
+            )
         return self
+
+    @property
+    def network_centric_store(self) -> bool:
+        """True when the config asks for store-computed batches
+        (``network_centric`` is ``"store"`` or the legacy ``True``)."""
+        return self.network_centric is True or self.network_centric == "store"
 
     # ------------------------------------------------------------------
     # Dict round-trip

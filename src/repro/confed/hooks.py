@@ -11,8 +11,10 @@ Events and payloads (all payload entries are keyword arguments):
 =================  =====================================================
 ``publish``        ``participant``, ``epoch``, ``transactions`` — a peer
                    published a transaction batch.
-``epoch_start``    ``participant``, ``recno`` — a reconciliation run is
-                   about to process its batch.
+``epoch_start``    ``participant``, ``recno``, ``network_centric`` — a
+                   reconciliation run is about to process its batch
+                   (``network_centric`` is True when the store
+                   pre-assembled it).
 ``decision``       ``participant``, ``recno``, ``tid``, ``decision`` —
                    one root transaction's verdict
                    (:class:`repro.core.decisions.Decision`); emitted in

@@ -45,10 +45,10 @@ clients of a real networked store would
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Optional, Type
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchedulerError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.cdss.participant import Participant
@@ -119,38 +119,87 @@ class ThreadedScheduler(EpochScheduler):
 
     def __init__(self, workers: Optional[int] = None) -> None:
         """``workers=None`` sizes the pool as
-        ``min(peer count, MAX_DEFAULT_WORKERS)`` at run time."""
+        ``min(peer count, MAX_DEFAULT_WORKERS)`` at run time.
+
+        A non-positive worker count is a configuration error — it used
+        to silently fall back to the default sizing through a truthiness
+        check, which hid the mistake."""
+        if workers is not None and workers < 1:
+            raise ConfigError(
+                f"ThreadedScheduler needs at least one worker, got {workers}"
+            )
         self._workers = workers
+
+    @staticmethod
+    def _parallel_phase(
+        pool: ThreadPoolExecutor,
+        participants: List["Participant"],
+        work: Callable[["Participant"], object],
+        phase: str,
+    ) -> List[object]:
+        """Run one phase across the pool, failing fast.
+
+        A worker exception used to surface only while draining
+        ``pool.map`` results; now the phase waits with
+        ``FIRST_EXCEPTION``, cancels what has not started, lets
+        already-running workers drain (so nothing mutates the round
+        after the raise), and aborts with a :class:`SchedulerError`
+        naming the failing participant — the publish barrier and the
+        reconcile phase never run against a half-edited round.
+        """
+        futures = {pool.submit(work, p): p for p in participants}
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        failures = [
+            (futures[future], future.exception())
+            for future in done
+            if future.exception() is not None
+        ]
+        if failures:
+            for future in pending:
+                future.cancel()
+            wait(pending)
+            participant, error = min(failures, key=lambda pair: pair[0].id)
+            raise SchedulerError(
+                f"{phase} phase failed for participant {participant.id}: "
+                f"{error}"
+            ) from error
+        return [future.result() for future in futures]
 
     def run(self, confederation: "Confederation") -> None:
         config = confederation.config
         participants = confederation.participants
         if not participants:
             return
-        workers = self._workers or max(
-            1, min(len(participants), self.MAX_DEFAULT_WORKERS)
+        workers = (
+            self._workers
+            if self._workers is not None
+            else max(1, min(len(participants), self.MAX_DEFAULT_WORKERS))
         )
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="epoch"
         ) as pool:
             for round_index in range(config.rounds):
-                counts: List[int] = list(
-                    pool.map(
-                        lambda p: self.edit_phase(confederation, p),
-                        participants,
-                    )
+                counts: List[int] = self._parallel_phase(
+                    pool,
+                    participants,
+                    lambda p: self.edit_phase(confederation, p),
+                    "edit",
                 )
                 # Deterministic publish-order barrier: epochs allocated
                 # in ascending participant id, every round.
                 for participant in participants:
                     participant.publish()
-                list(pool.map(lambda p: p.reconcile(), participants))
+                self._parallel_phase(
+                    pool, participants, lambda p: p.reconcile(), "reconcile"
+                )
                 for participant, published in zip(participants, counts):
                     confederation.finish_scheduled_epoch(
                         participant, round_index, published
                     )
             if config.final_reconcile:
-                list(pool.map(lambda p: p.reconcile(), participants))
+                self._parallel_phase(
+                    pool, participants, lambda p: p.reconcile(), "reconcile"
+                )
 
 
 #: Mode name → scheduler class.  ``ConfederationConfig.SCHEDULE_MODES``

@@ -66,8 +66,10 @@ class CacheStats:
     """Counters for one cache (or a snapshot/delta of them).
 
     ``hits`` are O(1) version matches; ``revalidations`` are O(|members|)
-    reuses after the applied set grew; ``shipped`` counts store-shipped
-    context-free extensions adopted instead of computing locally;
+    reuses after the applied set grew; ``shipped`` counts store-computed
+    extensions adopted instead of computing locally (context-free ones
+    proven disjoint from the applied set, and the per-participant
+    extensions of a fully network-centric batch);
     ``misses`` are full recomputations (including cold entries);
     ``pair_hits`` / ``pair_misses`` count conflict-pair comparisons served
     from / added to the pair cache (or performed by the incremental

@@ -204,6 +204,12 @@ class Reconciler:
             if precomputed is not None:
                 extension = precomputed.get(root.tid)
                 if extension is not None:
+                    # Adopted without re-deriving: the store assembled
+                    # this batch per participant, so the extension is
+                    # exact for our applied set.  Count it with the
+                    # shipped context-free adoptions — both are local
+                    # computations the store saved us.
+                    self._cache.stats.shipped += 1
                     self._cache.store(
                         root.tid, state.applied_version, extension
                     )

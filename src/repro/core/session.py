@@ -91,7 +91,10 @@ class ReconcileSession:
         state = self._reconciler.state
         if self._hooks is not None:
             self._hooks.emit(
-                "epoch_start", participant=state.participant, recno=batch.recno
+                "epoch_start",
+                participant=state.participant,
+                recno=batch.recno,
+                network_centric=batch.network_centric,
             )
         already_deferred = set(state.deferred)
         started = time.perf_counter()

@@ -65,5 +65,15 @@ class NetworkError(ReproError):
     """The simulated network could not deliver a message."""
 
 
+class SchedulerError(ReproError):
+    """An epoch scheduler's phase failed.
+
+    Raised by the threaded scheduler when a worker's edit or reconcile
+    phase raises: the round is aborted *before* the publish barrier (a
+    half-edited round must never publish), and the message names the
+    failing participant.  The original exception rides on ``__cause__``.
+    """
+
+
 class WorkloadError(ReproError):
     """The synthetic workload generator was configured incorrectly."""

@@ -93,6 +93,12 @@ class Network:
         self.messages_delivered = 0
         self.bytes_delivered = 0
         self.simulated_seconds = 0.0
+        #: Fragments delivered per message kind — the protocol mix.
+        #: Tests and benchmarks read this to show *where* a mode's
+        #: traffic goes (e.g. the fully network-centric batch trades
+        #: ``txn_data`` deliveries for ``nc_fetch``/``nc_member``
+        #: verdict chatter) without parsing transcripts.
+        self.kind_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -166,6 +172,9 @@ class Network:
             self.messages_delivered += message.fragments
             self.bytes_delivered += message.wire_bytes()
             self.simulated_seconds += self._latency * message.fragments
+            self.kind_counts[message.kind] = (
+                self.kind_counts.get(message.kind, 0) + message.fragments
+            )
             delivered += 1
             if message.recipient in self._failed:
                 if self._drop_to_failed:

@@ -24,7 +24,10 @@ honest capability flags:
   publish time and ship them on fetch, with a confederation-wide pair
   memo (``ships_context_free=True``, ``shared_pair_memo=True``;
   ``ship_context_free=False`` restores the paper's client-compute-only
-  behaviour).
+  behaviour); since PR 5 it also serves *fully* network-centric batches
+  (``network_centric_batches=True``): controllers derive each
+  participant's extensions against that participant's applied set over
+  the ring, closing the last quadrant of Figure 3.
 
 New backends call :func:`repro.store.registry.register_store` and become
 selectable from a :class:`repro.confed.ConfederationConfig` without any

@@ -135,10 +135,15 @@ class UpdateStore(abc.ABC):
     def pay_latency(self, seconds: float) -> None:
         """Sleep ``seconds`` if this store injects real delays.
 
-        Called by the transport layer with the simulated-latency delta of
-        the store call it just made, *after* releasing the store lock —
-        concurrent sessions wait in parallel, exactly like clients of a
-        real networked store.
+        Part of the store contract (every :class:`UpdateStore` provides
+        it; this base implementation is the default): the transport layer
+        (:meth:`repro.cdss.participant.Participant._store_call`) calls it
+        unconditionally with the simulated-latency delta of the store
+        call it just made, *after* releasing the store lock — concurrent
+        sessions wait in parallel, exactly like clients of a real
+        networked store.  Third-party drivers must not remove it; a
+        driver that charged latency but never paid it would silently
+        break the paper's injected-delay experiments.
         """
         if self._real_latency and seconds > 0:
             time.sleep(seconds)
@@ -197,11 +202,13 @@ class UpdateStore(abc.ABC):
     def begin_network_reconciliation(
         self, participant: int
     ) -> ReconciliationBatch:
-        """Network-centric variant: the store precomputes extensions and
-        conflicts (see :mod:`repro.store.network_centric`).  Stores that
-        only support client-centric reconciliation raise
-        :class:`NotImplementedError` — as the paper's own implementation
-        did for its distributed store."""
+        """Network-centric variant: the store precomputes each root's
+        update extension *against this participant's applied set* and the
+        pairwise conflict adjacency, returning a fully-assembled batch
+        (see :mod:`repro.store.network_centric`).  A backend implementing
+        this advertises ``network_centric_batches`` in its capability
+        flags; stores that only support client-centric reconciliation
+        keep this default and raise :class:`NotImplementedError`."""
         raise NotImplementedError(
             f"{type(self).__name__} supports client-centric reconciliation only"
         )

@@ -111,7 +111,7 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
         ships_context_free=True,
         shared_pair_memo=True,
         durable=True,
-        network_centric=True,
+        network_centric_batches=True,
     )
 
     #: Default simulated cost per store API call, in seconds.  The paper's

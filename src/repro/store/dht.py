@@ -62,6 +62,28 @@ a final verdict for a transaction, its controller drops the derived
 extension and the driver drops the pairs it participates in.
 ``ship_context_free=False`` restores the paper's client-compute-only
 behaviour (and honestly downgrades the instance's capability flags).
+
+Fully network-centric batches (PR 5)
+------------------------------------
+
+``begin_network_reconciliation`` closes the last quadrant of Figure 3:
+a *distributed* store whose batches arrive fully assembled.  Transaction
+controllers already learn every participant's verdicts about their
+transactions through the ``record_decision`` feedback; a ``nc_request``
+makes the root's controller derive that participant's update extension
+*against its applied set*, walking the antecedent closure with
+per-member verdict queries (``nc_fetch``/``nc_member`` — the verdict
+must be refetched every round, the body only until this controller has
+cached it).  The finished extension and any bodies the participant
+lacks return as one sized ``nc_data`` message; the driver — standing in
+for the peer coordinator, as it already does for antecedent lookups —
+runs the shared pairwise conflict assembly and prices the adjacency as
+a final ``nc_adjacency`` message.  Controllers memoize the derived
+extension per (participant, applied-version), so the repeated-deferral
+rounds the paper worries about are re-ships, not re-derivations; a
+final verdict retires the memo entry.  The client then runs only
+``CheckState``, ``DoGroup``, and application — decisions stay
+byte-identical to every other path on the equivalence matrix.
 """
 
 from __future__ import annotations
@@ -85,7 +107,10 @@ from repro.net.ring import HashRing
 from repro.net.simnet import Message, Network, Node
 from repro.policy.acceptance import TrustPolicy
 from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
-from repro.store.network_centric import NetworkCentricMixin
+from repro.store.network_centric import (
+    NetworkCentricMixin,
+    attach_assembled_payload,
+)
 from repro.store.registry import StoreCapabilities
 
 #: Publish order is (epoch, index within epoch) flattened to one integer.
@@ -193,6 +218,15 @@ class _HostNode(Node):
         # e.g. an old antecedent reappearing in a new chain — only need a
         # small header, not the payload.
         self.delivered: Set[Tuple[int, TransactionId]] = set()
+        # Fully network-centric mode (PR 5): in-flight per-participant
+        # extension derivations, and the (participant, tid) ->
+        # (applied-version, extension) memo that makes repeated deferral
+        # rounds O(1) re-ships instead of re-derivations.  Entries leave
+        # when the participant's final verdict arrives (record_decision).
+        self.nc_derivations: Dict[str, Dict[str, Any]] = {}
+        self.nc_memo: Dict[
+            Tuple[int, TransactionId], Tuple[int, UpdateExtension]
+        ] = {}
 
     # ------------------------------------------------------------------
 
@@ -496,6 +530,333 @@ class _HostNode(Node):
         except FlattenError:
             record["context_free"] = None
 
+    # -- fully network-centric batches (PR 5) ---------------------------
+    #
+    # ``begin_network_reconciliation`` over the ring: the reconciling
+    # peer's driver sends one ``nc_request`` per candidate root to the
+    # root's transaction controller.  The controller derives the root's
+    # update extension *against that participant's applied set*: it walks
+    # the antecedent closure, asking each member's controller for the
+    # participant's verdict on that member (``nc_fetch``/``nc_member`` —
+    # bodies ride along, priced in fragments and bytes, only when this
+    # controller has not cached them from an earlier derivation; the
+    # verdict itself must always be refetched, which is the mode's honest
+    # extra chatter).  The finished extension, the root body, and any
+    # member bodies the participant has not yet received ship back as one
+    # ``nc_data`` message.  Controllers learn the per-participant
+    # applied/rejected verdicts from the ``record_decision`` feedback the
+    # driver already routes to them after every reconciliation.
+
+    def _on_nc_request(self, network: Network, message: Message) -> None:
+        """Serve one root of a fully network-centric batch."""
+        payload = message.payload
+        tid: TransactionId = payload["tid"]
+        participant: int = payload["participant"]
+        record = self.txns.get(tid)
+        if record is None:
+            # Same reply a client-centric request_txn gets for a lost
+            # record; the driver ignores it either way, so the root
+            # drops out of the batch identically in both modes.
+            network.send(self.name, payload["client"], "txn_unknown", tid=tid)
+            return
+        verdict = record["decisions"].get(participant)
+        priority = 0
+        policy = self.policies.get(participant)
+        if policy is not None:
+            priority = policy.priority_of(self._schema, record["transaction"])
+        if verdict in ("applied", "rejected") or priority <= 0:
+            network.send(
+                self.name, payload["client"], "nc_irrelevant", tid=tid
+            )
+            return
+        version: int = payload["version"]
+        memo = self.nc_memo.get((participant, tid))
+        if (
+            memo is not None
+            and memo[0] == version
+            and memo[1].priority == priority
+            and self._nc_ship_from_memo(
+                network, payload, record, memo[1], priority
+            )
+        ):
+            return
+        dkey = f"{payload['token']}:{tid}"
+        derivation: Dict[str, Any] = {
+            "tid": tid,
+            "participant": participant,
+            "version": version,
+            "priority": priority,
+            "client": payload["client"],
+            "bodies": {
+                tid: (record["transaction"], record["antecedents"],
+                      record["order"])
+            },
+            "applied": set(),
+            "pending": set(),
+            "failed": False,
+        }
+        self.nc_derivations[dkey] = derivation
+        self._nc_walk(network, derivation, dkey, record["antecedents"])
+        if not derivation["pending"]:
+            self._finish_nc_derivation(network, dkey)
+
+    def _nc_ship_from_memo(
+        self, network, payload, record, extension, priority
+    ) -> bool:
+        """Re-ship a memoized extension; False when a member body has
+        been lost locally (forces a fresh derivation)."""
+        bodies = {}
+        for member in extension.members:
+            body = self._cf_local_body(member)
+            if body is None:  # pragma: no cover - bodies cache is unbounded
+                return False
+            bodies[member] = body
+        self._nc_send_data(
+            network,
+            client=payload["client"],
+            participant=payload["participant"],
+            record=record,
+            priority=priority,
+            extension=extension,
+            bodies=bodies,
+        )
+        return True
+
+    def _nc_walk(
+        self, network: Network, derivation: Dict[str, Any], dkey: str, tids
+    ) -> None:
+        """Advance the closure walk: absorb members whose verdict this
+        controller holds (its own transactions), ask other controllers
+        for the rest."""
+        participant = derivation["participant"]
+        worklist = list(tids)
+        while worklist:
+            tid = worklist.pop()
+            if (
+                tid in derivation["bodies"]
+                or tid in derivation["applied"]
+                or tid in derivation["pending"]
+            ):
+                continue
+            record = self.txns.get(tid)
+            if record is not None:
+                # Our own transaction: verdict and body are local.
+                if record["decisions"].get(participant) == "applied":
+                    derivation["applied"].add(tid)
+                    continue
+                derivation["bodies"][tid] = (
+                    record["transaction"], record["antecedents"],
+                    record["order"],
+                )
+                worklist.extend(record["antecedents"])
+                continue
+            derivation["pending"].add(tid)
+            network.send(
+                self.name,
+                self.ring.owner(f"txn:{tid}"),
+                "nc_fetch",
+                tid=tid,
+                participant=participant,
+                token=dkey,
+                reply_to=self.name,
+                need_body=tid not in self.cf_bodies,
+            )
+
+    def _on_nc_fetch(self, network: Network, message: Message) -> None:
+        """Answer a member query: the participant's verdict, plus the
+        body when the asking controller does not hold it yet."""
+        payload = message.payload
+        tid: TransactionId = payload["tid"]
+        record = self.txns.get(tid)
+        if record is None:
+            network.send(
+                self.name,
+                payload["reply_to"],
+                "nc_unknown_member",
+                tid=tid,
+                token=payload["token"],
+            )
+            return
+        applied = (
+            record["decisions"].get(payload["participant"]) == "applied"
+        )
+        if applied or not payload["need_body"]:
+            network.send(
+                self.name,
+                payload["reply_to"],
+                "nc_member",
+                tid=tid,
+                token=payload["token"],
+                applied=applied,
+                transaction=None,
+                antecedents=record["antecedents"],
+                order=record["order"],
+            )
+            return
+        transaction = record["transaction"]
+        network.send(
+            self.name,
+            payload["reply_to"],
+            "nc_member",
+            _fragments=_payload_fragments(transaction),
+            _size_bytes=_body_bytes(transaction),
+            tid=tid,
+            token=payload["token"],
+            applied=False,
+            transaction=transaction,
+            antecedents=record["antecedents"],
+            order=record["order"],
+        )
+
+    def _on_nc_member(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        derivation = self.nc_derivations.get(payload["token"])
+        if derivation is None:
+            return
+        tid: TransactionId = payload["tid"]
+        derivation["pending"].discard(tid)
+        if derivation["failed"]:
+            if not derivation["pending"]:
+                self._finish_nc_derivation(network, payload["token"])
+            return
+        if payload["applied"]:
+            derivation["applied"].add(tid)
+        else:
+            if payload["transaction"] is not None:
+                body = (
+                    payload["transaction"],
+                    payload["antecedents"],
+                    payload["order"],
+                )
+                self.cf_bodies.setdefault(tid, body)
+            else:
+                body = self.cf_bodies.get(tid)
+            if body is None:  # pragma: no cover - protocol guarantee
+                derivation["failed"] = True
+            else:
+                derivation["bodies"][tid] = body
+                self._nc_walk(
+                    network, derivation, payload["token"], body[1]
+                )
+        if not derivation["pending"]:
+            self._finish_nc_derivation(network, payload["token"])
+
+    def _on_nc_unknown_member(self, network: Network, message: Message) -> None:
+        """Part of the closure is gone: the derivation cannot finish;
+        the driver falls back to the classic Figure-7 retrieval for this
+        root and the client computes locally."""
+        derivation = self.nc_derivations.get(message.payload["token"])
+        if derivation is None:
+            return
+        derivation["failed"] = True
+        derivation["pending"].discard(message.payload["tid"])
+        if not derivation["pending"]:
+            self._finish_nc_derivation(network, message.payload["token"])
+
+    def _finish_nc_derivation(self, network: Network, dkey: str) -> None:
+        derivation = self.nc_derivations.pop(dkey)
+        tid: TransactionId = derivation["tid"]
+        record = self.txns[tid]
+        if derivation["failed"]:
+            network.send(
+                self.name,
+                derivation["client"],
+                "nc_data",
+                tid=tid,
+                failed=True,
+                extension=None,
+            )
+            return
+        graph = TransactionGraph()
+        for transaction, antecedents, order in derivation["bodies"].values():
+            graph.add(transaction, antecedents, order)
+        root = RelevantTransaction(
+            transaction=record["transaction"],
+            priority=derivation["priority"],
+            order=record["order"],
+        )
+        try:
+            extension = compute_update_extension(
+                self._schema, graph, root, frozenset(derivation["applied"])
+            )
+        except FlattenError:
+            # Ship the bodies with no extension: the client's fallback
+            # recomputation reaches the same FlattenError and rejects
+            # the root, byte-identically to the client-centric path.
+            extension = None
+        if extension is not None:
+            self.nc_memo[(derivation["participant"], tid)] = (
+                derivation["version"], extension,
+            )
+        self._nc_send_data(
+            network,
+            client=derivation["client"],
+            participant=derivation["participant"],
+            record=record,
+            priority=derivation["priority"],
+            extension=extension,
+            bodies=derivation["bodies"],
+        )
+
+    def _nc_send_data(
+        self,
+        network: Network,
+        client: str,
+        participant: int,
+        record: Dict[str, Any],
+        priority: int,
+        extension: Optional[UpdateExtension],
+        bodies: Dict[
+            TransactionId, Tuple[Transaction, Tuple[TransactionId, ...], int]
+        ],
+    ) -> None:
+        """One ``nc_data`` delivery: root body, derived extension, and
+        the member bodies this participant has not received before.
+
+        Pricing mirrors ``txn_data``: each body not yet delivered to the
+        participant (as this controller knows it — a body another
+        controller delivered may be re-priced, a deliberately
+        conservative estimate) pays its fragments and bytes; the derived
+        extension pays its own fragments on top; everything already held
+        client-side rides in the header.
+        """
+        transaction: Transaction = record["transaction"]
+        tid = transaction.tid
+        fragments = 0
+        size = _HEADER_WIRE_BYTES
+        members = []
+        for member, body in sorted(
+            bodies.items(), key=lambda item: item[1][2]
+        ):
+            first = (
+                not self._cache_bodies
+                or (participant, member) not in self.delivered
+            )
+            self.delivered.add((participant, member))
+            if first:
+                fragments += _payload_fragments(body[0])
+                size += _body_bytes(body[0])
+            if member != tid:
+                members.append(body)
+        if extension is not None:
+            fragments += _extension_fragments(extension)
+            size += _extension_bytes(extension)
+        network.send(
+            self.name,
+            client,
+            "nc_data",
+            _fragments=max(1, fragments),
+            _size_bytes=size,
+            tid=tid,
+            failed=False,
+            transaction=transaction,
+            antecedents=record["antecedents"],
+            order=record["order"],
+            priority=priority,
+            extension=extension,
+            members=members,
+        )
+
     def _on_request_txn(self, network: Network, message: Message) -> None:
         """Figure 7: serve a transaction, forwarding antecedent requests."""
         payload = message.payload
@@ -582,6 +943,14 @@ class _HostNode(Node):
         if record is None:  # pragma: no cover - protocol guarantee
             raise StoreError(f"no such transaction {payload['tid']}")
         record["decisions"][payload["participant"]] = payload["verdict"]
+        # A final verdict retires the per-participant derived extension:
+        # this participant can never be served this root again.  A
+        # deferral keeps it — the next round's re-derivation becomes a
+        # memo hit while the applied set is unchanged.
+        if payload["verdict"] in ("applied", "rejected"):
+            self.nc_memo.pop(
+                (payload["participant"], payload["tid"]), None
+            )
         # Reconciliation-aware retention: once every registered
         # participant holds a final verdict the derived extension can
         # never be requested again — drop it and tell the driver so it
@@ -649,16 +1018,17 @@ class DhtUpdateStore(UpdateStore):
     #: Honest flags: since PR 3 the DHT derives context-free extensions
     #: at publish time and ships them on fetch, and the driver keeps the
     #: confederation-wide pair memo — shipping parity with the central
-    #: stores.  It is still simulated in-process (not durable) and does
-    #: not implement the fully store-computed batch
-    #: (``begin_network_reconciliation``): per-participant extensions
-    #: and conflict adjacency would need a distributed reconciliation
-    #: engine, future work in the paper and here.
+    #: stores.  Since PR 5 it also implements the fully store-computed
+    #: batch (``begin_network_reconciliation``): transaction controllers
+    #: derive per-participant extensions over the ring and the driver —
+    #: standing in for the participant's peer coordinator — assembles
+    #: the conflict adjacency, closing the last quadrant of Figure 3.
+    #: It is still simulated in-process, hence not durable.
     capabilities = StoreCapabilities(
         ships_context_free=True,
         shared_pair_memo=True,
         durable=False,
-        network_centric=False,
+        network_centric_batches=True,
     )
 
     def __init__(
@@ -724,6 +1094,17 @@ class DhtUpdateStore(UpdateStore):
             Tuple[TransactionId, int],
             Tuple[UpdateExtension, UpdateExtension],
         ] = {}
+        # Peer-coordinator bookkeeping for the fully network-centric
+        # batch (PR 5), maintained from the same ``record_decision``
+        # feedback the controllers receive: the participant's open
+        # deferred set (those roots re-enter every store-computed batch)
+        # and a monotone applied-set version that drives the
+        # controllers' per-participant extension memos.
+        self._nc_peers: Dict[int, Dict[str, Any]] = {}
+        # Per-participant conflict-pair caches for batch assembly (the
+        # peer coordinator's working memory, held driver-side like the
+        # other coordinator mirrors).
+        self._nc_pair_caches: Dict[int, ConflictCache] = {}
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -920,10 +1301,14 @@ class DhtUpdateStore(UpdateStore):
     # ------------------------------------------------------------------
     # Reconciliation (Figure 7)
 
-    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
-        """Assemble the next batch via the distributed retrieval protocol."""
-        client = self._client(participant)
-
+    def _discover_stable(
+        self, participant: int, client: _ClientNode
+    ) -> Tuple[int, Dict[int, List[TransactionId]]]:
+        """The retrieval front half shared by both reconciliation modes:
+        find the most recent stable epoch, fetch the contents of every
+        newly stable epoch (one batched request per distinct epoch
+        controller), and record the reconciliation at the peer
+        coordinator.  Returns ``(stable, {epoch: ids})``."""
         self._network.send(
             client.name,
             self._owner("epoch-allocator"),
@@ -941,8 +1326,6 @@ class DhtUpdateStore(UpdateStore):
         self._run()
         last = self._expect(client, "last_recon")["epoch"]
 
-        # Fetch epoch contents — one batched request per distinct epoch
-        # controller — and find the most recent stable epoch.
         by_controller: Dict[str, List[int]] = {}
         for epoch in range(last + 1, current + 1):
             controller = self._owner(f"epoch:{epoch}")
@@ -975,6 +1358,12 @@ class DhtUpdateStore(UpdateStore):
         )
         self._run()
         self._expect(client, "recon_recorded")
+        return stable, contents
+
+    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
+        """Assemble the next batch via the distributed retrieval protocol."""
+        client = self._client(participant)
+        stable, contents = self._discover_stable(participant, client)
 
         # Request every candidate root; controllers forward antecedents.
         self._token_counter += 1
@@ -1054,6 +1443,173 @@ class DhtUpdateStore(UpdateStore):
         return entry[1]
 
     # ------------------------------------------------------------------
+    # Fully network-centric reconciliation (PR 5)
+
+    def _nc_peer(self, participant: int) -> Dict[str, Any]:
+        """The driver's peer-coordinator record for ``participant``."""
+        record = self._nc_peers.get(participant)
+        if record is None:
+            record = self._nc_peers[participant] = {
+                "version": 0,
+                "deferred": set(),
+            }
+        return record
+
+    def begin_network_reconciliation(
+        self, participant: int
+    ) -> ReconciliationBatch:
+        """A fully store-computed batch over the ring (Figure 3's last
+        quadrant).
+
+        The epoch-discovery front half is identical to the
+        client-centric protocol.  Every candidate root — newly stable
+        transactions plus the participant's open deferred set, which the
+        store reconsiders each round exactly like the central backends —
+        is then requested with ``nc_request``: the root's transaction
+        controller derives the participant's update extension against
+        its applied set (walking the closure with per-member verdict
+        queries to the other controllers) and ships it, with any bodies
+        the participant lacks, as ``nc_data``.  The driver, standing in
+        for the peer coordinator, runs the shared pairwise conflict
+        assembly (:func:`~repro.store.network_centric.attach_assembled_payload`)
+        and prices the adjacency shipment as one final sized message.
+
+        A root whose derivation failed (a closure member's controller
+        lost its record) degrades to the classic Figure-7 retrieval so
+        the client computes — and decides — exactly as it would have
+        client-centrically.
+        """
+        client = self._client(participant)
+        stable, contents = self._discover_stable(participant, client)
+        peer = self._nc_peer(participant)
+
+        candidates: List[TransactionId] = []
+        for epoch in sorted(contents):
+            if epoch > stable:
+                continue
+            for tid in contents[epoch]:
+                if tid.participant != participant:
+                    candidates.append(tid)
+        for tid in sorted(peer["deferred"]):
+            if tid not in candidates:
+                candidates.append(tid)
+
+        self._token_counter += 1
+        token = f"ncrecon:{participant}:{self._token_counter}"
+        for tid in candidates:
+            self._network.send(
+                client.name,
+                self._owner(f"txn:{tid}"),
+                "nc_request",
+                tid=tid,
+                participant=participant,
+                version=peer["version"],
+                client=client.name,
+                token=token,
+            )
+        self._run()
+
+        roots: List[RelevantTransaction] = []
+        graph = TransactionGraph()
+        derived: Dict[TransactionId, UpdateExtension] = {}
+        failed: List[TransactionId] = []
+        # ``nc_irrelevant`` and ``txn_unknown`` replies are deliberately
+        # ignored: a decided/untrusted root, or one whose controller
+        # lost its record, drops out of the batch exactly as it does on
+        # the client-centric path.
+        for message in client.drain():
+            if message.kind != "nc_data":
+                continue
+            payload = message.payload
+            if payload["failed"]:
+                failed.append(payload["tid"])
+                continue
+            graph.add(
+                payload["transaction"],
+                payload["antecedents"],
+                payload["order"],
+            )
+            for transaction, antecedents, order in payload["members"]:
+                graph.add(transaction, antecedents, order)
+            roots.append(
+                RelevantTransaction(
+                    transaction=payload["transaction"],
+                    priority=payload["priority"],
+                    order=payload["order"],
+                )
+            )
+            if payload["extension"] is not None:
+                derived[payload["tid"]] = payload["extension"]
+
+        if failed:
+            # Degraded roots travel the classic client-centric protocol;
+            # the engine recomputes their extensions locally.
+            self._token_counter += 1
+            fallback = f"recon:{participant}:{self._token_counter}"
+            for tid in failed:
+                self._network.send(
+                    client.name,
+                    self._owner(f"txn:{tid}"),
+                    "request_txn",
+                    tid=tid,
+                    participant=participant,
+                    client=client.name,
+                    token=fallback,
+                    as_root=True,
+                )
+            self._run()
+            failed_set = set(failed)
+            for message in client.drain():
+                if message.kind != "txn_data":
+                    continue
+                payload = message.payload
+                graph.add(
+                    payload["transaction"],
+                    payload["antecedents"],
+                    payload["order"],
+                )
+                if payload["as_root"] and payload["tid"] in failed_set:
+                    roots.append(
+                        RelevantTransaction(
+                            transaction=payload["transaction"],
+                            priority=payload["priority"],
+                            order=payload["order"],
+                        )
+                    )
+
+        roots.sort(key=lambda root: root.order)
+        batch = ReconciliationBatch(recno=stable, roots=roots, graph=graph)
+        extensions = {
+            root.tid: derived[root.tid]
+            for root in roots
+            if root.tid in derived
+        }
+        pair_cache = self._nc_pair_caches.get(participant)
+        if pair_cache is None:
+            pair_cache = self._nc_pair_caches[participant] = ConflictCache()
+        attach_assembled_payload(self.schema, batch, extensions, pair_cache)
+        pair_cache.prune(extensions)
+
+        # The assembled adjacency travels from the peer coordinator as
+        # one sized message (extensions already paid their fragments on
+        # each nc_data delivery).
+        edges = sum(len(adj) for adj in batch.conflicts.values()) // 2
+        self._network.send(
+            self._owner(f"peer:{participant}"),
+            client.name,
+            "nc_adjacency",
+            _fragments=1 + edges,
+            _size_bytes=_HEADER_WIRE_BYTES * (1 + edges),
+            token=token,
+        )
+        self._run()
+        client.drain()
+
+        if self._ship_context_free:
+            batch.pair_cache = self._shared_pairs
+        return batch
+
+    # ------------------------------------------------------------------
 
     def complete_reconciliation(
         self, participant: int, result: ReconcileResult
@@ -1077,6 +1633,17 @@ class DhtUpdateStore(UpdateStore):
                 verdict=verdict,
             )
         self._run()
+        # Peer-coordinator upkeep for the store-computed batch: the open
+        # deferred set re-enters every network-centric batch, and the
+        # applied-set version validates the controllers' per-participant
+        # extension memos.  (Upstream results carry only *newly* deferred
+        # roots; removal happens on the eventual final verdict.)
+        peer = self._nc_peer(participant)
+        peer["deferred"].update(result.deferred)
+        peer["deferred"].difference_update(result.applied)
+        peer["deferred"].difference_update(result.rejected)
+        if result.applied:
+            peer["version"] += 1
         retired = [
             message.payload["tid"]
             for message in client.drain()

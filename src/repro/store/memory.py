@@ -67,7 +67,7 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
         ships_context_free=True,
         shared_pair_memo=True,
         durable=False,
-        network_centric=True,
+        network_centric_batches=True,
     )
 
     def __init__(

@@ -18,14 +18,14 @@ ones (which the store tracks).  The client then only runs ``CheckState``
 delta), the cheap greedy ``DoGroup``, and application.
 
 The distributed store does not use this mixin — it has no direct log
-access — but since PR 3 it is no longer client-compute-only: its
-transaction controllers derive context-free extensions at publish time
-and ship them on fetch, and the driver maintains the confederation-wide
-pair memo, so the DHT participates in the same "work moves into the
-network" regime (see :mod:`repro.store.dht`).  Only the *fully*
-network-centric batch (store-computed per-participant extensions and
-conflict adjacency, ``begin_network_reconciliation``) remains exclusive
-to stores with direct log access.
+access.  Since PR 3 its transaction controllers derive context-free
+extensions at publish time and ship them on fetch, and since PR 5 it
+implements the *fully* network-centric batch too: controllers derive
+each participant's extensions against that participant's applied set
+over the ring protocol, and the driver assembles the conflict adjacency
+through the same :func:`attach_assembled_payload` helper the mixin uses
+here — so all three built-in backends serve
+``begin_network_reconciliation`` (see :mod:`repro.store.dht`).
 
 Shared-memo retention: the context-free extension memo and the shared
 pair memo grow with the published history, but an entry is only ever
@@ -55,6 +55,41 @@ from repro.core.conflicts import find_conflicts
 from repro.errors import FlattenError
 from repro.model.transactions import Transaction, TransactionId
 from repro.store.logic import antecedent_closure
+
+
+def assembled_payload_fragments(extensions, adjacency) -> int:
+    """Message fragments a fully-assembled batch payload costs to ship.
+
+    One fragment per flattened update of every derived extension, plus
+    one per (undirected) conflict edge — the pricing both the mixin and
+    the DHT driver charge for moving the precomputed structures to the
+    reconciling client (Figures 6-7's size-bounded-message regime).
+    """
+    shipped = sum(len(ext.operations) for ext in extensions.values())
+    shipped += sum(len(adj) for adj in adjacency.values()) // 2
+    return shipped
+
+
+def attach_assembled_payload(
+    schema,
+    batch: ReconciliationBatch,
+    extensions,
+    pair_cache: Optional[ConflictCache] = None,
+) -> int:
+    """Finish a fully network-centric batch: store-side ``FindConflicts``.
+
+    The shared back half of ``begin_network_reconciliation`` for every
+    backend: given the per-participant extensions (derived from direct
+    log access by the mixin, or collected from transaction controllers
+    over the ring by the DHT driver), run the pairwise conflict analysis
+    against the per-participant ``pair_cache``, attach extensions and
+    adjacency to the batch, and return the fragment count the shipped
+    payload is priced at.
+    """
+    analysis = find_conflicts(schema, batch.graph, extensions, cache=pair_cache)
+    batch.extensions = extensions
+    batch.conflicts = analysis.adjacency
+    return assembled_payload_fragments(extensions, analysis.adjacency)
 
 
 class NetworkCentricMixin:
@@ -315,11 +350,9 @@ class NetworkCentricMixin:
                 ext_cache.stats.misses += 1
                 ext_cache.store(root.tid, version, extension)
             extensions[root.tid] = extension
-        analysis = find_conflicts(
-            self.schema, batch.graph, extensions, cache=pair_cache
+        shipped = attach_assembled_payload(
+            self.schema, batch, extensions, pair_cache
         )
-        batch.extensions = extensions
-        batch.conflicts = analysis.adjacency
 
         # Deferred roots reappear in the next round's batch; anything else
         # is decided by then, so cap both caches at this round's roots.
@@ -329,7 +362,5 @@ class NetworkCentricMixin:
         # Communication: shipping the precomputed structures costs
         # messages proportional to their size (one fragment per flattened
         # update, plus one per conflict edge).
-        shipped = sum(len(ext.operations) for ext in extensions.values())
-        shipped += sum(len(adj) for adj in batch.conflicts.values()) // 2
         self.perf.charge(2 + shipped, self.message_latency)
         return batch

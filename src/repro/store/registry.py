@@ -15,8 +15,15 @@ can do:
   of pairwise conflict points between shipped extension objects;
 * ``durable`` — published state survives process restarts (backed by
   disk rather than process memory);
-* ``network_centric`` — the store implements
-  ``begin_network_reconciliation`` (Figure 3's store-computed mode).
+* ``network_centric_batches`` — the store implements
+  ``begin_network_reconciliation`` (Figure 3's store-computed mode):
+  it tracks every participant's applied set, derives each
+  participant's update extensions *against that applied set*, computes
+  the pairwise conflict adjacency store-side, and hands the engine a
+  fully-assembled batch.  Since PR 5 all three built-ins declare it —
+  memory/central through direct log access
+  (:class:`~repro.store.network_centric.NetworkCentricMixin`), the DHT
+  through its ring protocol (:mod:`repro.store.dht`).
 
 The built-in backends (``memory``, ``central``, ``dht``) are registered
 by :mod:`repro.store` at import time; see ``register_store`` for adding
@@ -48,7 +55,14 @@ class StoreCapabilities:
     ships_context_free: bool = False
     shared_pair_memo: bool = False
     durable: bool = False
-    network_centric: bool = False
+    network_centric_batches: bool = False
+
+    @property
+    def network_centric(self) -> bool:
+        """Deprecated alias for :attr:`network_centric_batches` (the
+        pre-PR 5 flag name).  Attribute reads only: the constructor
+        takes the new name, and :meth:`as_dict` emits the new key."""
+        return self.network_centric_batches
 
     def as_dict(self) -> Dict[str, bool]:
         """The flags as a plain dict (for reports and snapshots)."""

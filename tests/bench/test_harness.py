@@ -74,3 +74,82 @@ class TestFigureFunctionsSmall:
         [(peers, store, store_s, local_s, total_s)] = rows
         assert peers == 3 and store == "central"
         assert total_s == pytest.approx(store_s + local_s)
+
+
+class TestRegressionGate:
+    """The multi-benchmark CI gate (benchmarks/check_regression.py)."""
+
+    def _write(self, path, point):
+        import json
+
+        path.write_text(json.dumps(point))
+        return path
+
+    def _baseline(self, tmp_path, speedups):
+        return self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema_version": 2,
+                "benchmarks": {
+                    name: {"benchmark": name, "speedup": speedup}
+                    for name, speedup in speedups.items()
+                },
+            },
+        )
+
+    def test_all_points_within_threshold_pass(self, tmp_path):
+        from benchmarks.check_regression import main
+
+        baseline = self._baseline(
+            tmp_path, {"engine_reconciliation": 4.0, "dht_network_centric": 3.0}
+        )
+        engine = self._write(
+            tmp_path / "e.json",
+            {"benchmark": "engine_reconciliation", "speedup": 3.9},
+        )
+        dht = self._write(
+            tmp_path / "d.json",
+            {"benchmark": "dht_network_centric", "speedup": 2.8},
+        )
+        assert main([str(engine), str(dht), "--baseline", str(baseline)]) == 0
+
+    def test_any_regressed_point_fails(self, tmp_path):
+        from benchmarks.check_regression import main
+
+        baseline = self._baseline(
+            tmp_path, {"engine_reconciliation": 4.0, "dht_network_centric": 3.0}
+        )
+        engine = self._write(
+            tmp_path / "e.json",
+            {"benchmark": "engine_reconciliation", "speedup": 3.9},
+        )
+        dht = self._write(
+            tmp_path / "d.json",
+            {"benchmark": "dht_network_centric", "speedup": 2.0},
+        )
+        assert main([str(engine), str(dht), "--baseline", str(baseline)]) == 1
+
+    def test_legacy_flat_baseline_still_understood(self, tmp_path):
+        from benchmarks.check_regression import main
+
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {"benchmark": "engine_reconciliation", "speedup": 4.0},
+        )
+        fresh = self._write(
+            tmp_path / "e.json",
+            {"benchmark": "engine_reconciliation", "speedup": 4.1},
+        )
+        assert main([str(fresh), "--baseline", str(baseline)]) == 0
+
+    def test_unknown_benchmark_name_is_an_error(self, tmp_path):
+        import pytest as _pytest
+
+        from benchmarks.check_regression import main
+
+        baseline = self._baseline(tmp_path, {"engine_reconciliation": 4.0})
+        fresh = self._write(
+            tmp_path / "x.json", {"benchmark": "mystery", "speedup": 1.0}
+        )
+        with _pytest.raises(SystemExit):
+            main([str(fresh), "--baseline", str(baseline)])

@@ -60,11 +60,36 @@ class TestLifecycle:
         assert not store.closed
 
     def test_network_centric_needs_capability(self):
-        config = ConfederationConfig(
-            store="dht", network_centric=True, peers=(1,)
+        # Since PR 5 every built-in backend serves store-computed
+        # batches, so the gate is exercised with a driver that
+        # honestly declares it cannot.
+        from repro.store import (
+            MemoryUpdateStore,
+            StoreCapabilities,
+            register_store,
+            unregister_store,
         )
-        with pytest.raises(ConfigError, match="network-centric"):
-            Confederation(config).open()
+
+        class ClientOnlyStore(MemoryUpdateStore):
+            capabilities = StoreCapabilities(
+                ships_context_free=True, shared_pair_memo=True
+            )
+
+        register_store(
+            "client-only-test",
+            lambda schema, **_: ClientOnlyStore(schema),
+            ClientOnlyStore.capabilities,
+        )
+        try:
+            config = ConfederationConfig(
+                store="client-only-test",
+                network_centric="store",
+                peers=(1,),
+            )
+            with pytest.raises(ConfigError, match="network_centric_batches"):
+                Confederation(config).open()
+        finally:
+            unregister_store("client-only-test")
 
 
 class TestParticipants:

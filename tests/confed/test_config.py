@@ -45,6 +45,25 @@ class TestRoundTrip:
     def test_peers_normalised_to_tuple(self):
         assert ConfederationConfig(peers=[3, 1]).peers == (3, 1)
 
+    @pytest.mark.parametrize("mode", [False, True, "client", "store"])
+    def test_network_centric_mode_round_trips_exactly(self, mode):
+        # The named modes ("client"/"store") and their legacy boolean
+        # spellings are distinct dict values and must survive the round
+        # trip verbatim — a config file saying "store" must not come
+        # back as True.
+        cfg = ConfederationConfig(network_centric=mode).validate()
+        wire = json.loads(json.dumps(cfg.to_dict()))
+        assert wire["network_centric"] == mode
+        restored = ConfederationConfig.from_dict(wire)
+        assert restored == cfg
+        assert restored.network_centric == mode
+
+    def test_network_centric_store_helper(self):
+        assert ConfederationConfig(network_centric="store").network_centric_store
+        assert ConfederationConfig(network_centric=True).network_centric_store
+        assert not ConfederationConfig(network_centric="client").network_centric_store
+        assert not ConfederationConfig().network_centric_store
+
     def test_unknown_key_rejected(self):
         with pytest.raises(ConfigError, match="unknown config keys"):
             ConfederationConfig.from_dict({"stoer": "memory"})
@@ -62,6 +81,24 @@ class TestValidation:
     def test_trust_must_reference_known_peers(self):
         with pytest.raises(ConfigError, match="unknown peers"):
             ConfederationConfig(peers=(1, 2), trust={1: {9: 1}}).validate()
+
+    def test_unknown_network_centric_mode_rejected(self):
+        with pytest.raises(ConfigError, match="network_centric"):
+            ConfederationConfig(network_centric="controller").validate()
+
+    def test_network_centric_modes_constant_is_what_validate_accepts(self):
+        # NETWORK_CENTRIC_MODES is the public accepted-values list
+        # (config UIs iterate it); validate() consults the same tuple,
+        # so the two can never drift apart.
+        from repro.confed import NETWORK_CENTRIC_MODES
+
+        assert NETWORK_CENTRIC_MODES == (False, True, "client", "store")
+        for mode in NETWORK_CENTRIC_MODES:
+            assert (
+                ConfederationConfig(network_centric=mode).validate()
+                .network_centric
+                == mode
+            )
 
     def test_unknown_instance_backend_rejected(self):
         with pytest.raises(ConfigError, match="instance backend"):

@@ -72,6 +72,18 @@ class TestSelection:
         with pytest.raises(ConfigError, match="schedule_workers"):
             ConfederationConfig(schedule_workers=0).validate()
 
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_direct_construction_rejects_non_positive_workers(self, workers):
+        # ThreadedScheduler(workers=0) used to silently fall back to the
+        # default pool sizing through `self._workers or ...`; it is now
+        # a hard error at construction, matching the config validation.
+        with pytest.raises(ConfigError, match="at least one worker"):
+            ThreadedScheduler(workers=workers)
+
+    def test_explicit_worker_count_is_honoured(self):
+        assert ThreadedScheduler(workers=2)._workers == 2
+        assert ThreadedScheduler()._workers is None
+
     def test_schedule_keys_round_trip(self):
         cfg = ConfederationConfig(schedule_mode="threaded", schedule_workers=8)
         wire = cfg.to_dict()
@@ -115,6 +127,47 @@ class TestThreadedSchedule:
         second = _decision_log(config)
         assert first[0] == second[0]
         assert first[1] == second[1]
+
+
+class TestFailFast:
+    def test_edit_phase_failure_aborts_before_the_publish_barrier(self):
+        # A worker exception in the parallel edit phase must abort the
+        # round before anything publishes — a half-edited round leaking
+        # through the barrier would feed every peer inconsistent epochs
+        # — and the raised error must name the failing participant.
+        from repro.errors import SchedulerError
+
+        with Confederation(_config(schedule_mode="threaded")) as confed:
+            broken = confed.participant(3)
+
+            def explode(updates):
+                raise RuntimeError("disk on fire")
+
+            broken.execute = explode
+            with pytest.raises(
+                SchedulerError, match="edit phase failed for participant 3"
+            ) as excinfo:
+                confed.run()
+            assert isinstance(excinfo.value.__cause__, RuntimeError)
+            # Nothing published: the barrier never ran.
+            assert confed.store.current_epoch() == 0
+            assert confed.report().transactions_published == 0
+
+    def test_reconcile_phase_failure_names_the_participant(self):
+        from repro.errors import SchedulerError
+
+        with Confederation(_config(schedule_mode="threaded")) as confed:
+            broken = confed.participant(2)
+
+            def explode():
+                raise RuntimeError("session crashed")
+
+            broken.reconcile = explode
+            with pytest.raises(
+                SchedulerError,
+                match="reconcile phase failed for participant 2",
+            ):
+                confed.run()
 
 
 class TestEpochEndHook:

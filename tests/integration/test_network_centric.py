@@ -21,12 +21,14 @@ RAT_RESP = ("rat", "prot1", "cell-resp")
 MOUSE = ("mouse", "prot2", "immune")
 
 
-@pytest.fixture(params=["memory", "central"])
+@pytest.fixture(params=["memory", "central", "dht"])
 def store_factory(request):
     def factory():
         schema = curated_schema()
         if request.param == "memory":
             return MemoryUpdateStore(schema)
+        if request.param == "dht":
+            return DhtUpdateStore(schema, hosts=4)
         return CentralUpdateStore(schema)
 
     return factory
@@ -108,11 +110,41 @@ class TestNetworkCentricEquivalence:
         result = p3.publish_and_reconcile()
         assert [str(t) for t in result.accepted] == ["X1:1"]
 
-    def test_dht_store_declines_network_centric(self, schema):
-        store = DhtUpdateStore(schema, hosts=3)
+    def test_client_only_store_declines_network_centric(self, schema):
+        # The base contract still raises for backends that do not
+        # implement the store-computed batch (PR 5 closed the gap for
+        # every built-in, so a minimal subclass stands in).
+        from repro.store.base import UpdateStore
+
+        class ClientOnly(MemoryUpdateStore):
+            begin_network_reconciliation = (
+                UpdateStore.begin_network_reconciliation
+            )
+
+        store = ClientOnly(schema)
         store.register_participant(1, TrustPolicy())
         with pytest.raises(NotImplementedError):
             store.begin_network_reconciliation(1)
+
+    def test_dht_serves_store_computed_batches(self, schema):
+        # The last Figure-3 quadrant: the distributed store returns a
+        # fully-assembled per-participant batch.
+        store = DhtUpdateStore(schema, hosts=3)
+        store.register_participant(
+            1, TrustPolicy().trust_participant(2, 1)
+        )
+        store.register_participant(2, TrustPolicy())
+        from repro.cdss import Participant
+
+        publisher = Participant(2, store, TrustPolicy(), register=False)
+        publisher.execute([Insert("F", RAT_IMMUNE, 2)])
+        publisher.publish()
+        batch = store.begin_network_reconciliation(1)
+        assert batch.network_centric
+        [root] = batch.roots
+        assert str(root.tid) == "X2:0"
+        assert set(batch.extensions) == {root.tid}
+        assert set(batch.conflicts) == {root.tid}
 
     def test_batch_reports_mode(self, store_factory):
         store = store_factory()

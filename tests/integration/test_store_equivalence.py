@@ -66,7 +66,7 @@ def test_stores_produce_identical_outcomes(seed):
 # PR 3: byte-identical decision pins for DHT shipping parity
 
 
-def run_with_decision_log(store_name, store_options, seed):
+def run_with_decision_log(store_name, store_options, seed, network_centric=False):
     """Replay the seeded evaluation schedule, recording every decision
     event (participant, recno, tid, verdict) in emission order."""
     config = ConfederationConfig(
@@ -76,6 +76,7 @@ def run_with_decision_log(store_name, store_options, seed):
         reconciliation_interval=3,
         rounds=3,
         final_reconcile=True,
+        network_centric=network_centric,
         workload=WorkloadConfig(transaction_size=2, seed=seed),
     )
     log = []
@@ -106,3 +107,31 @@ def test_dht_shipping_decisions_byte_identical(seed):
     assert shipped[0] == client_computed[0] == central[0]
     assert shipped[1] == client_computed[1] == central[1]
     assert shipped[2] == client_computed[2] == central[2]
+
+
+# ----------------------------------------------------------------------
+# PR 5: the full equivalence matrix, including fully store-computed
+# DHT batches (Figure 3's last quadrant)
+
+
+@pytest.mark.parametrize("seed", [7, 29])
+def test_equivalence_matrix_with_store_computed_batches(seed):
+    """dht-store-computed / dht-shipped / dht-client-computed / central
+    (client- and store-computed) must emit byte-identical decision
+    streams: the store deriving a participant's extensions against its
+    applied set is only legal because it provably equals the client's
+    own computation."""
+    matrix = [
+        run_with_decision_log("dht", {"hosts": 5}, seed, network_centric="store"),
+        run_with_decision_log("dht", {"hosts": 5}, seed),
+        run_with_decision_log(
+            "dht", {"hosts": 5, "ship_context_free": False}, seed
+        ),
+        run_with_decision_log("central", {}, seed),
+        run_with_decision_log("central", {}, seed, network_centric="store"),
+    ]
+    reference = matrix[0]
+    for other in matrix[1:]:
+        assert other[0] == reference[0]  # decision stream, order included
+        assert other[1] == reference[1]  # replica snapshots
+        assert other[2] == reference[2]  # state ratio

@@ -8,7 +8,7 @@ frontier, not its history.
 
 from __future__ import annotations
 
-from repro.confed import Confederation, ConfederationConfig
+from repro.confed import Confederation, ConfederationConfig, HookBus
 from repro.core.decisions import ReconcileResult
 from repro.model import Insert
 from repro.model.transactions import Transaction, TransactionId
@@ -96,6 +96,64 @@ class TestRetention:
                 pid, ReconcileResult(recno=1, applied=[txn.tid])
             )
         assert len(pairs) == 0
+
+    def _threaded_retention_run(self, schedule_mode, memo_limit=None):
+        """One seeded run; ``memo_limit`` shrinks the shared memos so
+        the FIFO backstop evicts *during* the run, concurrently with
+        retirement and the threaded reconcile phases."""
+        config = ConfederationConfig(
+            store="memory",
+            peers=(1, 2, 3, 4),
+            reconciliation_interval=2,
+            rounds=3,
+            final_reconcile=True,
+            schedule_mode=schedule_mode,
+            workload=WorkloadConfig(transaction_size=2, seed=11),
+        )
+        log = []
+        hooks = HookBus()
+        hooks.on_decision(
+            lambda **kw: log.append(
+                (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+            )
+        )
+        with Confederation(config, hooks=hooks) as confed:
+            if memo_limit is not None:
+                # Instance attribute shadows the class constant: both
+                # the context-free memo's FIFO cap and the shared pair
+                # cache (created below with this limit) shrink.
+                confed.store.SHARED_MEMO_LIMIT = memo_limit
+                confed.store.shared_pair_cache().limit = memo_limit
+            confed.run()
+            snapshots = {
+                p.id: p.instance.snapshot() for p in confed.participants
+            }
+            open_roots = set()
+            for participant in confed.participants:
+                open_roots |= set(participant.state.deferred)
+            memo = dict(getattr(confed.store, "_nc_context_free", {}) or {})
+        return sorted(log), snapshots, memo, open_roots
+
+    def test_threaded_reconcile_safe_under_retirement_and_eviction(self):
+        """Concurrent reconciles + retirement + a tiny FIFO backstop:
+        a reconciling participant must never be handed a retired or
+        evicted entry it cannot recover from — decisions stay
+        byte-identical to the serial schedule and to an unbounded memo
+        (eviction only ever costs a recomputation on the next miss)."""
+        # The serial and threaded schedules interleave differently (two
+        # distinct, equally valid schedules), so the pin is per mode:
+        # shrinking the memos must change nothing.
+        serial_tiny = self._threaded_retention_run("serial", memo_limit=2)
+        serial_wide = self._threaded_retention_run("serial")
+        threaded_tiny = self._threaded_retention_run("threaded", memo_limit=2)
+        threaded_wide = self._threaded_retention_run("threaded")
+        assert serial_tiny[0] == serial_wide[0]
+        assert serial_tiny[1] == serial_wide[1]
+        assert threaded_tiny[0] == threaded_wide[0]
+        assert threaded_tiny[1] == threaded_wide[1]
+        # Retention kept up even while workers raced the memo: nothing
+        # finally decided by everyone lingers.
+        assert set(threaded_tiny[2]) <= threaded_tiny[3]
 
     def test_memo_shrinks_after_a_full_confederation_round(self):
         """End to end: after every peer reconciles everything (a full

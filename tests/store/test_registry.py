@@ -51,12 +51,14 @@ class TestCapabilityFlags:
 
     def test_dht_flags_are_honest(self):
         # Since PR 3 the DHT derives context-free extensions at publish
-        # and ships them on fetch, with the shared pair memo; only the
-        # fully store-computed batch remains unimplemented.
+        # and ships them on fetch, with the shared pair memo; since PR 5
+        # it assembles fully network-centric batches over the ring too.
         caps = store_capabilities("dht")
         assert caps.ships_context_free
         assert caps.shared_pair_memo
-        assert not caps.network_centric
+        assert caps.network_centric_batches
+        # The pre-PR 5 flag name keeps reading the same truth.
+        assert caps.network_centric
 
     def test_dht_shipping_opt_out_downgrades_instance_flags(self):
         # ship_context_free=False restores the paper's client-compute-only
@@ -120,7 +122,7 @@ class TestCapabilityRouting:
             capabilities = StoreCapabilities(
                 ships_context_free=False,
                 shared_pair_memo=False,
-                network_centric=True,
+                network_centric_batches=True,
             )
 
         batch = self._one_published_transaction(NoShipStore(curated_schema()))
@@ -132,7 +134,7 @@ class TestCapabilityRouting:
             capabilities = StoreCapabilities(
                 ships_context_free=False,
                 shared_pair_memo=True,
-                network_centric=True,
+                network_centric_batches=True,
             )
 
         batch = self._one_published_transaction(MemoOnlyStore(curated_schema()))

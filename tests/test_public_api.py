@@ -83,6 +83,7 @@ EXPECTED_ALL = {
     "ReconciliationError",
     "ReproError",
     "ResolutionError",
+    "SchedulerError",
     "SchemaError",
     "StoreError",
     "UnknownTransactionError",
@@ -109,22 +110,22 @@ def test_registry_capability_snapshot():
         "ships_context_free": True,
         "shared_pair_memo": True,
         "durable": False,
-        "network_centric": True,
+        "network_centric_batches": True,
     }
     assert store_capabilities("central").as_dict() == {
         "ships_context_free": True,
         "shared_pair_memo": True,
         "durable": True,
-        "network_centric": True,
+        "network_centric_batches": True,
     }
-    # PR 3: the DHT has shipping parity (store-side context-free
-    # derivation + the shared pair memo); only the fully store-computed
-    # batch remains central-store-only.
+    # PR 5: the DHT assembles fully network-centric batches over the
+    # ring — every built-in backend now serves Figure 3's store-computed
+    # column.
     assert store_capabilities("dht").as_dict() == {
         "ships_context_free": True,
         "shared_pair_memo": True,
         "durable": False,
-        "network_centric": False,
+        "network_centric_batches": True,
     }
 
 
