@@ -37,6 +37,7 @@ See ``examples/quickstart.py`` for a complete runnable tour.
 from repro.errors import (
     ConfigError,
     ConstraintViolation,
+    FaultError,
     FlattenError,
     NetworkError,
     PolicyError,
@@ -44,6 +45,7 @@ from repro.errors import (
     ReconciliationError,
     ReproError,
     ResolutionError,
+    RetryExhaustedError,
     SchedulerError,
     SchemaError,
     StoreError,
@@ -78,6 +80,7 @@ from repro.confed import (
     Confederation,
     ConfederationConfig,
     ConfederationReport,
+    FaultController,
     HookBus,
     ParticipantSnapshot,
     SerialScheduler,
@@ -94,6 +97,7 @@ from repro.core import (
 )
 from repro.instance import Instance, MemoryInstance, SqliteInstance
 from repro.metrics import state_ratio
+from repro.net import FaultPlan, HostCrash, MessageFault, ParticipantRestart
 from repro.policy import (
     AcceptanceRule,
     TrustPolicy,
@@ -130,11 +134,16 @@ __all__ = [
     "ConfederationReport",
     "Decision",
     "DhtUpdateStore",
+    "FaultController",
+    "FaultPlan",
     "HookBus",
+    "HostCrash",
     "Instance",
     "MemoryInstance",
     "MemoryUpdateStore",
+    "MessageFault",
     "Participant",
+    "ParticipantRestart",
     "ParticipantSnapshot",
     "ParticipantState",
     "ReconcileResult",
@@ -166,6 +175,7 @@ __all__ = [
     "ConfigError",
     "ConstraintViolation",
     "Delete",
+    "FaultError",
     "FlattenError",
     "ForeignKey",
     "Insert",
@@ -177,6 +187,7 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "ResolutionError",
+    "RetryExhaustedError",
     "Schema",
     "SchedulerError",
     "SchemaError",

@@ -122,8 +122,19 @@ class Participant:
         rejected and deferred sets are restored; deferred transactions'
         bodies and antecedent graphs are refetched so their conflict
         groups can be rebuilt by a follow-up reconciliation pass.
+
+        Replay mirrors the engine's application semantics (flattened
+        footprints via ``apply_set``, never raw update sequences): an
+        accepted antecedent chain may span several epochs, and its
+        *intermediate* states can collide with rows applied from other
+        origins even though its net effect fits.  Transactions whose raw
+        updates do not fit yet are therefore buffered and flattened
+        together with their successors until the combined footprint
+        applies — exactly the net effect the live engine installed.
         """
         from repro.core.extensions import RelevantTransaction
+        from repro.errors import ConstraintViolation, FlattenError
+        from repro.model.flatten import flatten
         from repro.store.logic import antecedent_closure
 
         participant = cls(
@@ -139,14 +150,38 @@ class Participant:
         applied, rejected, deferred = store.decided_transactions(
             participant_id
         )
+        buffered: List[Update] = []
         for transaction in applied:
-            participant.instance.apply_all(list(transaction.updates))
+            buffered.extend(transaction.updates)
             participant.state.record_applied([transaction.tid])
             if transaction.origin == participant_id:
                 participant._sequence = max(
                     participant._sequence, transaction.tid.sequence + 1
                 )
+            try:
+                operations = flatten(store.schema, buffered)
+                participant.instance.apply_set(operations)
+            except (ConstraintViolation, FlattenError):
+                continue  # a chain is still mid-flight; keep buffering
+            buffered = []
+        if buffered:
+            # The applied set is store-verified consistent; a leftover
+            # buffer that still does not fit is a real reconstruction
+            # failure and must surface, not be dropped.
+            participant.instance.apply_set(flatten(store.schema, buffered))
         participant.state.record_rejected(rejected)
+
+        if rejected:
+            # Future roots may name rejected transactions as antecedents;
+            # the engine then needs their bodies and publish orders from
+            # the local graph (the store ships only undecided members).
+            applied_set = set(participant.state.applied)
+            closure = antecedent_closure(
+                lambda t: store._nc_lookup(t)[1], rejected, stop=applied_set
+            )
+            for member in closure:
+                body, antes, member_order = store._nc_lookup(member)
+                participant.state.graph.add(body, antes, member_order)
 
         if deferred:
             applied_set = set(participant.state.applied)

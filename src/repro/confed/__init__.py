@@ -32,6 +32,7 @@ from repro.confed.config import (
     ConfederationConfig,
 )
 from repro.confed.confederation import Confederation, ParticipantSnapshot
+from repro.confed.faults import FaultController
 from repro.confed.hooks import EVENTS, HookBus
 from repro.confed.report import ConfederationReport
 from repro.confed.scheduler import (
@@ -47,6 +48,7 @@ __all__ = [
     "ConfederationReport",
     "EVENTS",
     "EpochScheduler",
+    "FaultController",
     "HookBus",
     "INSTANCE_BACKENDS",
     "NETWORK_CENTRIC_MODES",

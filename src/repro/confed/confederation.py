@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdss.participant import Participant
 from repro.confed.config import ConfederationConfig
+from repro.confed.faults import FaultController
 from repro.confed.hooks import HookBus
 from repro.confed.report import ConfederationReport
 from repro.confed.scheduler import create_scheduler
@@ -34,8 +35,13 @@ from repro.errors import ConfigError
 from repro.instance.base import Instance
 from repro.instance.sqlite_instance import SqliteInstance
 from repro.metrics.state_ratio import state_ratio
-from repro.metrics.subscribers import CacheStatsCollector, TimingCollector
+from repro.metrics.subscribers import (
+    CacheStatsCollector,
+    FaultCollector,
+    TimingCollector,
+)
 from repro.metrics.timing import aggregate_timings
+from repro.net.faults import FaultInjector, FaultPlan
 from repro.model.schema import Schema
 from repro.model.transactions import TransactionId
 from repro.policy.acceptance import TrustPolicy
@@ -98,6 +104,8 @@ class Confederation:
         # repro.metrics.subscribers) — report() reads these.
         self._timing = TimingCollector().attach(self.hooks)
         self._cache_stats = CacheStatsCollector().attach(self.hooks)
+        self._fault_collector = FaultCollector().attach(self.hooks)
+        self._fault_controller: Optional[FaultController] = None
 
     @classmethod
     def from_config(
@@ -137,10 +145,49 @@ class Confederation:
                 f"support store-computed reconciliation batches "
                 f"(capabilities.network_centric_batches is False)"
             )
+        # The store surfaces fault / retry / degraded / recovery events
+        # on the confederation's bus.
+        self._store.hooks = self.hooks
+        if self.config.faults is not None and not self.config.faults.is_empty():
+            self._install_faults(self.config.faults)
         self._opened = True
         for pid in self.config.peers:
             self.add_participant(pid, self._policy_for(pid))
         return self
+
+    def _install_faults(self, plan: FaultPlan) -> None:
+        """Wire a fault plan into the store, or refuse it loudly.
+
+        A plan naming faults the store cannot suffer is a configuration
+        error at ``open()``, not a silent no-op at fire time: message
+        faults need the store's simulated network, host crashes need the
+        ``fail_host``/``recover_host`` surface.  The checks are
+        duck-typed (capability, not concrete type) so third-party
+        drivers qualify by exposing the same surface.
+        """
+        store = self._store
+        if plan.messages:
+            network = getattr(store, "network", None)
+            if network is None:
+                raise ConfigError(
+                    f"store backend {type(store).__name__} has no "
+                    f"simulated network; message faults need a networked "
+                    f"store (e.g. 'dht')"
+                )
+            network.injector = FaultInjector(
+                plan,
+                latency=store.message_latency,
+                emit=lambda **payload: self.hooks.emit("fault", **payload),
+            )
+        if plan.crashes and not (
+            hasattr(store, "fail_host") and hasattr(store, "recover_host")
+        ):
+            raise ConfigError(
+                f"store backend {type(store).__name__} cannot crash or "
+                f"recover hosts; host-crash faults need the "
+                f"fail_host/recover_host surface (e.g. 'dht')"
+            )
+        self._fault_controller = FaultController(plan)
 
     def close(self) -> None:
         """Release the store (if this confederation created it).
@@ -391,6 +438,7 @@ class Confederation:
             # A snapshot, not the live collector: a report's counters
             # must not mutate when the confederation keeps running.
             cache_stats=self._cache_stats.total.snapshot(),
+            faults=self._fault_collector.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -431,7 +479,10 @@ class Confederation:
         Called by the epoch scheduler after ``participant`` finished its
         publish-and-reconcile step of round ``round_index``; ``published``
         is the number of transactions the step published.  Emits the
-        ``epoch_end`` event so subscribers can observe schedule progress.
+        ``epoch_end`` event so subscribers can observe schedule progress,
+        then fires any fault-plan actions whose epoch has been reached —
+        crashes, recoveries, and restarts land at step boundaries, never
+        inside a reconciliation (see :mod:`repro.confed.faults`).
         """
         self._transactions_published += published
         self.hooks.emit(
@@ -441,6 +492,8 @@ class Confederation:
             published=published,
             total_published=self._transactions_published,
         )
+        if self._fault_controller is not None:
+            self._fault_controller.tick(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else ("open" if self._opened else "new")

@@ -15,6 +15,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.net.faults import FaultPlan
 from repro.workload.generator import WorkloadConfig
 
 #: Instance backends a participant's local replica can use, by name.
@@ -65,7 +66,14 @@ class ConfederationConfig:
       phases run concurrently between deterministic publish-order
       barriers; ``schedule_workers`` caps the pool, None sizes it from
       the peer count and CPU count).  See
-      :mod:`repro.confed.scheduler`.
+      :mod:`repro.confed.scheduler`;
+    * ``faults`` — an optional :class:`repro.net.faults.FaultPlan`: the
+      seeded, declarative chaos schedule the run should suffer (host
+      crashes and recoveries pinned to epochs, message drops /
+      duplicates / latency spikes by kind, participant crash-restarts).
+      ``Confederation.open()`` wires the plan's message faults into the
+      store's simulated network and executes its epoch-scheduled
+      actions through :class:`repro.confed.faults.FaultController`.
     """
 
     store: str = "memory"
@@ -82,6 +90,7 @@ class ConfederationConfig:
     final_reconcile: bool = False
     schedule_mode: str = "serial"
     schedule_workers: Optional[int] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         self.peers = tuple(self.peers)
@@ -138,6 +147,15 @@ class ConfederationConfig:
                 f"accepted: False/'client' (client-centric), "
                 f"True/'store' (store-computed batches)"
             )
+        if self.faults is not None:
+            self.faults.validate()
+            known = set(self.peers)
+            for restart in self.faults.restarts:
+                if known and restart.participant not in known:
+                    raise ConfigError(
+                        f"fault plan restarts unknown participant "
+                        f"{restart.participant}; peers: {sorted(known)}"
+                    )
         return self
 
     @property
@@ -176,6 +194,7 @@ class ConfederationConfig:
             "final_reconcile": self.final_reconcile,
             "schedule_mode": self.schedule_mode,
             "schedule_workers": self.schedule_workers,
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
@@ -204,6 +223,9 @@ class ConfederationConfig:
                     f"known: {sorted(workload_fields)}"
                 )
             kwargs["workload"] = WorkloadConfig(**workload)
+        faults = kwargs.get("faults")
+        if isinstance(faults, Mapping):
+            kwargs["faults"] = FaultPlan.from_dict(faults)
         return cls(**kwargs)
 
     # ------------------------------------------------------------------

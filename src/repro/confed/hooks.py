@@ -34,6 +34,23 @@ Events and payloads (all payload entries are keyword arguments):
                    published and ``total_published`` the running total
                    across the run (subscribers observe schedule
                    progress instead of polling the report).
+``fault``          ``action`` plus fault-specific context — one injected
+                   fault fired: a message-level injection carries
+                   ``kind``/``sender``/``recipient``
+                   (:class:`repro.net.faults.FaultInjector`), a host
+                   crash carries ``host``
+                   (:meth:`repro.store.dht.DhtUpdateStore.fail_host`).
+``retry``          ``kind``, ``recipient``, ``attempt`` — a store
+                   request went unanswered and is being re-sent
+                   (attempt numbering starts at 1).
+``degraded``       store-specific context (e.g. ``participant``,
+                   ``roots``) — a resilient path gave up on its
+                   preferred strategy and fell back to a slower but
+                   correct one.
+``recovery``       ``kind`` plus context — a previously failed
+                   component rejoined (``kind="host"`` carries
+                   ``host``; ``kind="participant"`` carries
+                   ``participant``).
 =================  =====================================================
 
 Delivery is synchronous and in subscription order; handler exceptions
@@ -64,6 +81,10 @@ EVENTS: Tuple[str, ...] = (
     "cache_stats",
     "reconcile",
     "epoch_end",
+    "fault",
+    "retry",
+    "degraded",
+    "recovery",
 )
 
 Handler = Callable[..., None]
@@ -126,6 +147,22 @@ class HookBus:
     def on_epoch_end(self, handler: Handler) -> Handler:
         """Subscribe to ``epoch_end`` events."""
         return self.subscribe("epoch_end", handler)
+
+    def on_fault(self, handler: Handler) -> Handler:
+        """Subscribe to ``fault`` events."""
+        return self.subscribe("fault", handler)
+
+    def on_retry(self, handler: Handler) -> Handler:
+        """Subscribe to ``retry`` events."""
+        return self.subscribe("retry", handler)
+
+    def on_degraded(self, handler: Handler) -> Handler:
+        """Subscribe to ``degraded`` events."""
+        return self.subscribe("degraded", handler)
+
+    def on_recovery(self, handler: Handler) -> Handler:
+        """Subscribe to ``recovery`` events."""
+        return self.subscribe("recovery", handler)
 
     # ------------------------------------------------------------------
     # Emission

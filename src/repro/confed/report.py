@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.cache import CacheStats
+from repro.metrics.subscribers import FaultSummary
 from repro.metrics.timing import TimingAggregate
 
 
@@ -33,6 +34,10 @@ class ConfederationReport:
     store_messages: int
     #: Engine cache counters summed over all participants.
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Fault activity of the run: injected faults by action, store
+    #: retries, degraded fallbacks, recoveries.  All zero on a
+    #: fault-free run (the default).
+    faults: FaultSummary = field(default_factory=FaultSummary)
 
     @property
     def mean_total_seconds_per_participant(self) -> float:

@@ -95,7 +95,11 @@ class SerialScheduler(EpochScheduler):
     def run(self, confederation: "Confederation") -> None:
         config = confederation.config
         for round_index in range(config.rounds):
-            for participant in confederation.participants:
+            # Resolve each participant by id at its step: a fault-plan
+            # restart earlier in the round replaces the object, and the
+            # schedule must drive the rebuilt one.
+            for pid in [p.id for p in confederation.participants]:
+                participant = confederation.participant(pid)
                 published = self.edit_phase(confederation, participant)
                 participant.publish_and_reconcile()
                 confederation.finish_scheduled_epoch(
@@ -167,18 +171,25 @@ class ThreadedScheduler(EpochScheduler):
 
     def run(self, confederation: "Confederation") -> None:
         config = confederation.config
-        participants = confederation.participants
-        if not participants:
+        if not confederation.participants:
             return
         workers = (
             self._workers
             if self._workers is not None
-            else max(1, min(len(participants), self.MAX_DEFAULT_WORKERS))
+            else max(
+                1,
+                min(len(confederation.participants), self.MAX_DEFAULT_WORKERS),
+            )
         )
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="epoch"
         ) as pool:
             for round_index in range(config.rounds):
+                # Re-read the roster every round: a fault-plan restart
+                # (fired at the end of the previous round's steps)
+                # replaces a participant object, and workers must drive
+                # the rebuilt one, not a stale reference.
+                participants = confederation.participants
                 counts: List[int] = self._parallel_phase(
                     pool,
                     participants,
@@ -198,7 +209,10 @@ class ThreadedScheduler(EpochScheduler):
                     )
             if config.final_reconcile:
                 self._parallel_phase(
-                    pool, participants, lambda p: p.reconcile(), "reconcile"
+                    pool,
+                    confederation.participants,
+                    lambda p: p.reconcile(),
+                    "reconcile",
                 )
 
 

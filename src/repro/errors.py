@@ -49,6 +49,23 @@ class UnknownTransactionError(StoreError):
     """A transaction id was requested that the store has never seen."""
 
 
+class FaultError(StoreError):
+    """A store operation failed because of an injected or real fault.
+
+    Base class for failures the fault-tolerance layer (PR 6) can
+    surface past its own masking: lost state a replica could not cover,
+    or a retry budget running out.
+    """
+
+
+class RetryExhaustedError(FaultError):
+    """A request/reply exchange failed every configured retry attempt.
+
+    The message names the recipient, message kind, and attempt count —
+    everything needed to diagnose which reply kept getting lost.
+    """
+
+
 class PublicationError(StoreError):
     """A publication violated the store's protocol (e.g. reused epoch)."""
 

@@ -8,6 +8,8 @@ from them rather than from participant internals.
 from repro.metrics.state_ratio import divergence_by_key, state_ratio
 from repro.metrics.subscribers import (
     CacheStatsCollector,
+    FaultCollector,
+    FaultSummary,
     StateRatioProbe,
     TimingCollector,
 )
@@ -15,6 +17,8 @@ from repro.metrics.timing import TimingAggregate, aggregate_timings
 
 __all__ = [
     "CacheStatsCollector",
+    "FaultCollector",
+    "FaultSummary",
     "StateRatioProbe",
     "TimingAggregate",
     "TimingCollector",

@@ -15,6 +15,7 @@ reads as one expression::
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.core.cache import CacheStats
@@ -69,6 +70,79 @@ class CacheStatsCollector:
     def __call__(self, *, stats: Optional[CacheStats], **_ignored) -> None:
         if stats is not None:
             self.total.add(stats)
+
+
+@dataclass
+class FaultSummary:
+    """Counters of one run's fault activity (see :class:`FaultCollector`).
+
+    ``injected`` counts fired faults by action (``drop`` / ``duplicate``
+    / ``delay`` from the message injector, ``crash`` from host
+    failures); the rest count resilience responses: store-request
+    retries, degraded fallbacks, and component recoveries.
+    """
+
+    injected: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    degraded: int = 0
+    recoveries: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        """Every fault that fired, across actions."""
+        return sum(self.injected.values())
+
+
+class FaultCollector:
+    """Counts ``fault`` / ``retry`` / ``degraded`` / ``recovery`` events.
+
+    An ordinary bus subscriber, like the timing and cache collectors:
+    the store surface and the fault injector emit, the collector counts,
+    and ``Confederation.report()`` snapshots the summary.  The raw event
+    payloads are kept (in emission order) so chaos tests can assert on
+    the exact fault trace, not just the totals.
+    """
+
+    def __init__(self) -> None:
+        self.summary = FaultSummary()
+        #: ``(event, payload)`` pairs in emission order.
+        self.events: List[tuple] = []
+
+    def attach(self, bus) -> "FaultCollector":
+        """Subscribe to ``bus`` and return self."""
+        bus.on_fault(self._on_fault)
+        bus.on_retry(self._on_retry)
+        bus.on_degraded(self._on_degraded)
+        bus.on_recovery(self._on_recovery)
+        return self
+
+    def _on_fault(self, *, action: str, **payload) -> None:
+        self.summary.injected[action] = (
+            self.summary.injected.get(action, 0) + 1
+        )
+        self.events.append(("fault", dict(payload, action=action)))
+
+    def _on_retry(self, **payload) -> None:
+        self.summary.retries += 1
+        self.events.append(("retry", payload))
+
+    def _on_degraded(self, **payload) -> None:
+        self.summary.degraded += 1
+        self.events.append(("degraded", payload))
+
+    def _on_recovery(self, **payload) -> None:
+        self.summary.recoveries += 1
+        self.events.append(("recovery", payload))
+
+    def snapshot(self) -> FaultSummary:
+        """An independent copy of the summary (reports must not mutate
+        when the confederation keeps running)."""
+        return FaultSummary(
+            injected=dict(self.summary.injected),
+            retries=self.summary.retries,
+            degraded=self.summary.degraded,
+            recoveries=self.summary.recoveries,
+        )
 
 
 class StateRatioProbe:

@@ -11,10 +11,31 @@ count.  This package reproduces that regime deterministically:
 * :class:`repro.net.simnet.Node` — base class for protocol participants;
 * :class:`repro.net.ring.HashRing` — consistent hashing used by the DHT
   store to map logical roles (epoch allocator, epoch controllers,
-  transaction controllers, ...) onto physical peers.
+  transaction controllers, ...) onto physical peers;
+* :class:`repro.net.faults.FaultPlan` /
+  :class:`repro.net.faults.FaultInjector` — declarative, seeded fault
+  schedules (message drops, duplicates, latency spikes, host crashes,
+  participant restarts) and the deterministic simnet-side executor.
 """
 
+from repro.net.faults import (
+    FaultInjector,
+    FaultPlan,
+    HostCrash,
+    MessageFault,
+    ParticipantRestart,
+)
 from repro.net.ring import HashRing
 from repro.net.simnet import Message, Network, Node
 
-__all__ = ["HashRing", "Message", "Network", "Node"]
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "HashRing",
+    "HostCrash",
+    "Message",
+    "MessageFault",
+    "Network",
+    "Node",
+    "ParticipantRestart",
+]

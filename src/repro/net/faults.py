@@ -1,0 +1,297 @@
+"""Declarative, seeded fault plans and their deterministic executor.
+
+The paper's Section 5.2.2 sketches failure handling; reproducing the
+claim that a confederation *survives* faults needs a way to schedule
+them deterministically.  This module provides both halves:
+
+* :class:`FaultPlan` — a declarative description of every fault a run
+  should suffer: host crashes (and recoveries) pinned to epochs,
+  message drops / duplicates / latency spikes by message kind with a
+  seeded probability, and mid-run participant crash-restarts.  Like the
+  rest of :class:`~repro.confed.config.ConfederationConfig` it
+  round-trips exactly through plain JSON-safe dicts, so chaos schedules
+  live in files and version control.
+* :class:`FaultInjector` — the simnet-side executor: attached to
+  :attr:`repro.net.simnet.Network.injector`, it is consulted once per
+  dequeued message and decides — from one seeded
+  :class:`random.Random` stream, so a (plan, seed) pair always injects
+  the same faults at the same points — whether that message is
+  delivered, dropped, duplicated, or delayed.
+
+Host crashes and participant restarts are *scheduled* here but
+*executed* by the confederation's fault controller
+(:mod:`repro.confed.faults`), which owns the store and participant
+lifecycles; the injector only handles the message-level faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Message-fault actions a :class:`MessageFault` can request.
+MESSAGE_FAULT_ACTIONS: Tuple[str, ...] = ("drop", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Crash one store host at an epoch, optionally recovering later.
+
+    ``at_epoch``/``recover_at_epoch`` are store epochs: the crash fires
+    at the first schedule step where the store's current epoch has
+    reached ``at_epoch``; recovery (when configured) fires the same way.
+    """
+
+    host: str
+    at_epoch: int
+    recover_at_epoch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop, duplicate, or delay messages of one kind.
+
+    Each matching message triggers the fault with ``probability``
+    (drawn from the plan's seeded stream); ``times`` bounds the total
+    number of injections (``None`` = unlimited, which makes a
+    probability-1.0 drop an *unmaskable* black hole).  ``delay_factor``
+    scales the network's base latency into the extra delay a
+    ``"delay"`` fault charges.
+    """
+
+    kind: str
+    action: str = "drop"
+    probability: float = 1.0
+    times: Optional[int] = None
+    delay_factor: float = 4.0
+
+
+@dataclass(frozen=True)
+class ParticipantRestart:
+    """Crash-restart one participant at an epoch.
+
+    Executed through the confederation's ``snapshot()``/``restore()``
+    path: the participant object is discarded and rebuilt entirely from
+    the update store — the paper's soft-state claim, exercised mid-run.
+    """
+
+    participant: int
+    at_epoch: int
+
+
+@dataclass
+class FaultPlan:
+    """Every fault one run should deterministically suffer."""
+
+    seed: int = 0
+    crashes: Tuple[HostCrash, ...] = ()
+    messages: Tuple[MessageFault, ...] = ()
+    restarts: Tuple[ParticipantRestart, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.crashes = tuple(self.crashes)
+        self.messages = tuple(self.messages)
+        self.restarts = tuple(self.restarts)
+
+    # ------------------------------------------------------------------
+    # Validation
+
+    def validate(self) -> "FaultPlan":
+        """Check internal consistency; returns self."""
+        for crash in self.crashes:
+            if crash.at_epoch < 1:
+                raise ConfigError(
+                    f"crash of {crash.host!r}: at_epoch must be >= 1"
+                )
+            if (
+                crash.recover_at_epoch is not None
+                and crash.recover_at_epoch <= crash.at_epoch
+            ):
+                raise ConfigError(
+                    f"crash of {crash.host!r}: recover_at_epoch must be "
+                    f"after at_epoch"
+                )
+        for fault in self.messages:
+            if fault.action not in MESSAGE_FAULT_ACTIONS:
+                raise ConfigError(
+                    f"unknown message-fault action {fault.action!r}; "
+                    f"accepted: {', '.join(MESSAGE_FAULT_ACTIONS)}"
+                )
+            if not 0.0 <= fault.probability <= 1.0:
+                raise ConfigError(
+                    f"message fault on {fault.kind!r}: probability must "
+                    f"be within [0, 1]"
+                )
+            if fault.times is not None and fault.times < 1:
+                raise ConfigError(
+                    f"message fault on {fault.kind!r}: times must be "
+                    f">= 1 (or None for unlimited)"
+                )
+            if fault.delay_factor < 0:
+                raise ConfigError(
+                    f"message fault on {fault.kind!r}: delay_factor must "
+                    f"be non-negative"
+                )
+        for restart in self.restarts:
+            if restart.at_epoch < 1:
+                raise ConfigError(
+                    f"restart of participant {restart.participant}: "
+                    f"at_epoch must be >= 1"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Dict round-trip (the ConfederationConfig idiom)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, JSON-safe dict representation (lists, not tuples,
+        so a ``json.dumps``/``loads`` detour is exact)."""
+        return {
+            "seed": self.seed,
+            "crashes": [
+                {
+                    "host": c.host,
+                    "at_epoch": c.at_epoch,
+                    "recover_at_epoch": c.recover_at_epoch,
+                }
+                for c in self.crashes
+            ],
+            "messages": [
+                {
+                    "kind": m.kind,
+                    "action": m.action,
+                    "probability": m.probability,
+                    "times": m.times,
+                    "delay_factor": m.delay_factor,
+                }
+                for m in self.messages
+            ],
+            "restarts": [
+                {"participant": r.participant, "at_epoch": r.at_epoch}
+                for r in self.restarts
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output; unknown keys
+        raise :class:`~repro.errors.ConfigError`."""
+
+        def build(entry, entry_cls, what):
+            from dataclasses import fields as dc_fields
+
+            known = {f.name for f in dc_fields(entry_cls)}
+            unknown = set(entry) - known
+            if unknown:
+                raise ConfigError(
+                    f"unknown {what} keys {sorted(unknown)}; "
+                    f"known: {sorted(known)}"
+                )
+            return entry_cls(**entry)
+
+        known = {"seed", "crashes", "messages", "restarts"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fault-plan keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(
+            seed=int(data.get("seed", 0)),
+            crashes=tuple(
+                build(entry, HostCrash, "host-crash")
+                for entry in data.get("crashes", ())
+            ),
+            messages=tuple(
+                build(entry, MessageFault, "message-fault")
+                for entry in data.get("messages", ())
+            ),
+            restarts=tuple(
+                build(entry, ParticipantRestart, "participant-restart")
+                for entry in data.get("restarts", ())
+            ),
+        )
+
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing."""
+        return not (self.crashes or self.messages or self.restarts)
+
+
+@dataclass
+class _Rule:
+    """One message fault with its remaining injection budget."""
+
+    fault: MessageFault
+    remaining: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.remaining = self.fault.times
+
+
+class FaultInjector:
+    """Executes a plan's message faults on the simulated network.
+
+    One seeded RNG stream drives every probability draw, in delivery
+    order — the simnet drains FIFO and consults the injector once per
+    message, so a given (plan, protocol trace) pair injects identically
+    on every run.  ``emit`` (when given) is called with the payload of
+    a ``fault`` hook event for each injection.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        latency: float,
+        emit: Optional[Callable[..., None]] = None,
+    ) -> None:
+        self._rng = random.Random(plan.seed)
+        self._latency = latency
+        self._emit = emit
+        self._rules: Dict[str, List[_Rule]] = {}
+        for fault in plan.messages:
+            self._rules.setdefault(fault.kind, []).append(_Rule(fault))
+        #: Injections performed so far, by action.
+        self.counts: Dict[str, int] = {}
+
+    def intercept(self, message) -> Tuple[str, float]:
+        """The simnet hook: ``(action, extra_latency_seconds)``.
+
+        The first matching rule with budget left and a winning draw
+        fires; at most one fault per message.
+        """
+        for rule in self._rules.get(message.kind, ()):
+            if rule.remaining is not None and rule.remaining <= 0:
+                continue
+            if self._rng.random() >= rule.fault.probability:
+                continue
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            action = rule.fault.action
+            self.counts[action] = self.counts.get(action, 0) + 1
+            extra = (
+                self._latency * rule.fault.delay_factor
+                if action == "delay"
+                else 0.0
+            )
+            if self._emit is not None:
+                self._emit(
+                    action=action,
+                    kind=message.kind,
+                    sender=message.sender,
+                    recipient=message.recipient,
+                )
+            return action, extra
+        return "deliver", 0.0
+
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "HostCrash",
+    "MessageFault",
+    "ParticipantRestart",
+    "MESSAGE_FAULT_ACTIONS",
+]

@@ -57,6 +57,27 @@ class HashRing:
             position = 0
         return live[position][1]
 
+    def successors(
+        self, key: str, count: int, excluded: Iterable[str] = ()
+    ) -> List[str]:
+        """The first ``count`` distinct live nodes clockwise of hash(key).
+
+        The first entry is the key's owner; the rest are the successor
+        nodes that hold its replicas under successor replication (a
+        Pastry/Chord leaf-set style placement).  Fewer than ``count``
+        names are returned when the live ring is smaller.
+        """
+        banned = set(excluded)
+        live = [(h, n) for h, n in self._points if n not in banned]
+        if not live:
+            raise NetworkError("no live nodes remain on the ring")
+        hashes = [h for h, _n in live]
+        position = bisect.bisect_left(hashes, _hash(key))
+        result: List[str] = []
+        for offset in range(min(count, len(live))):
+            result.append(live[(position + offset) % len(live)][1])
+        return result
+
     def nodes(self) -> List[str]:
         """Node names in ring order."""
         return [name for _point, name in self._points]

@@ -18,6 +18,19 @@ Failure injection: a node can be taken down; messages to a down node raise
 :class:`~repro.errors.NetworkError` by default, or are silently dropped
 when the network is created with ``drop_to_failed=True`` (useful for
 testing recovery protocols such as epoch-allocator reconstruction).
+Dropped messages are *not* accounted: the clock, the message counter,
+``bytes_delivered``, and ``kind_counts`` only ever reflect deliveries
+that happened.
+
+Deterministic fault injection (PR 6): an *injector* — any object with an
+``intercept(message)`` method, e.g.
+:class:`repro.net.faults.FaultInjector` — can be attached via
+:attr:`Network.injector`.  It is consulted once per dequeued message and
+returns an action: ``"deliver"`` (the default path), ``"drop"`` (the
+message vanishes, unaccounted, like a drop to a failed node),
+``"duplicate"`` (a marked copy is re-enqueued and delivered — and
+accounted — a second time; copies are never re-intercepted), or
+``"delay"`` with extra seconds added to the simulated clock.
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import NetworkError
 
@@ -57,6 +70,10 @@ class Message:
     payload: Dict[str, Any] = field(default_factory=dict)
     fragments: int = 1
     size_bytes: int = 0
+    #: True on copies created by an injected "duplicate" fault; such
+    #: copies are delivered but never intercepted again (no fault
+    #: cascades off an injected fault).
+    injected: bool = False
 
     def wire_bytes(self) -> int:
         """The bytes this message is accounted at."""
@@ -90,6 +107,9 @@ class Network:
         self._failed: set = set()
         self._latency = latency
         self._drop_to_failed = drop_to_failed
+        #: Optional fault injector consulted per dequeued message (see
+        #: the module docstring and :mod:`repro.net.faults`).
+        self.injector: Optional[Any] = None
         self.messages_delivered = 0
         self.bytes_delivered = 0
         self.simulated_seconds = 0.0
@@ -155,11 +175,17 @@ class Network:
         )
 
     def run(self, max_messages: int = 1_000_000) -> int:
-        """Drain the queue; returns the number of messages delivered.
+        """Drain the queue; returns the number of *attempted* deliveries.
 
         ``max_messages`` bounds runaway protocols (a protocol bug would
         otherwise loop forever); exceeding it raises
         :class:`~repro.errors.NetworkError`.
+
+        A message dropped in flight — addressed to a failed node under
+        ``drop_to_failed``, or dropped by the injector — counts toward
+        the return value (the sender attempted it) but leaves the
+        accounting counters untouched: the clock, message counter,
+        byte total, and kind counts only reflect actual deliveries.
         """
         delivered = 0
         while self._queue:
@@ -169,18 +195,36 @@ class Network:
                     "protocol is likely looping"
                 )
             message = self._queue.popleft()
-            self.messages_delivered += message.fragments
-            self.bytes_delivered += message.wire_bytes()
-            self.simulated_seconds += self._latency * message.fragments
-            self.kind_counts[message.kind] = (
-                self.kind_counts.get(message.kind, 0) + message.fragments
-            )
             delivered += 1
+            extra_latency = 0.0
+            if self.injector is not None and not message.injected:
+                action, extra_latency = self.injector.intercept(message)
+                if action == "drop":
+                    continue
+                if action == "duplicate":
+                    copy = Message(
+                        message.sender,
+                        message.recipient,
+                        message.kind,
+                        message.payload,
+                        message.fragments,
+                        message.size_bytes,
+                        injected=True,
+                    )
+                    self._queue.append(copy)
             if message.recipient in self._failed:
                 if self._drop_to_failed:
                     continue
                 raise NetworkError(
                     f"message {message} addressed to failed node"
                 )
+            self.messages_delivered += message.fragments
+            self.bytes_delivered += message.wire_bytes()
+            self.simulated_seconds += (
+                self._latency * message.fragments + extra_latency
+            )
+            self.kind_counts[message.kind] = (
+                self.kind_counts.get(message.kind, 0) + message.fragments
+            )
             self.node(message.recipient).handle(self, message)
         return delivered

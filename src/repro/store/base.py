@@ -116,6 +116,15 @@ class UpdateStore(abc.ABC):
         #: default serial schedule.
         self.lock = threading.RLock()
         self.perf = PerfCounters()
+        #: Optional hook bus (``repro.confed.hooks.HookBus``), attached
+        #: by ``Confederation.open()`` so stores can surface fault /
+        #: retry / degraded / recovery events; ``None`` when standalone.
+        self.hooks = None
+
+    def _emit(self, event: str, **payload) -> None:
+        """Emit a hook event when a bus is attached (no-op otherwise)."""
+        if self.hooks is not None:
+            self.hooks.emit(event, **payload)
 
     @property
     def schema(self) -> Schema:

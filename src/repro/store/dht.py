@@ -84,6 +84,36 @@ rounds the paper worries about are re-ships, not re-derivations; a
 final verdict retires the memo entry.  The client then runs only
 ``CheckState``, ``DoGroup``, and application — decisions stay
 byte-identical to every other path on the equivalence matrix.
+
+Fault tolerance (PR 6)
+----------------------
+
+Three mechanisms close Section 5.2.2's failure sketch:
+
+* **successor replication** — with ``replication_factor=k`` every
+  controller-side write (transaction records, decisions, epoch records,
+  producer-index entries, peer-coordinator records, the allocator's
+  counter) also ships to the key's next ``k - 1`` live ring successors
+  as priced ``replicate`` messages.  After :meth:`DhtUpdateStore.fail_host`
+  wipes a host, the takeover owner serves each record from its replica
+  (promoting it to primary and re-replicating on first access);
+  :meth:`DhtUpdateStore.recover_host` rejoins the ring and a
+  ``rebalance`` sweep re-ships every record the returning host should
+  hold, re-establishing the invariant.
+* **retry with request ids** — every request/reply exchange carries a
+  request id that is stable across retries and echoed by the handler;
+  the driver retries a missing reply with deterministic exponential
+  backoff (bounded by ``max_retries``, then
+  :class:`~repro.errors.RetryExhaustedError`).  Handlers are idempotent
+  and the epoch allocator deduplicates ``request_epoch`` by id, so
+  retries and injected duplicates never burn an epoch or skew a
+  decision stream.
+* **degradation** — cascaded retrievals (``request_txn``,
+  ``nc_request``) are retried batch-wise under fresh tokens (the
+  controllers' per-token dedup would silently absorb a same-token
+  re-request); a store-computed derivation that still fails falls back
+  to the client-computed path for that root (surfaced as a
+  ``degraded`` hook event), preserving byte-identical decisions.
 """
 
 from __future__ import annotations
@@ -100,7 +130,7 @@ from repro.core.extensions import (
     UpdateExtension,
     compute_update_extension,
 )
-from repro.errors import FlattenError, StoreError
+from repro.errors import FlattenError, RetryExhaustedError, StoreError
 from repro.model.schema import Schema
 from repro.model.transactions import Transaction, TransactionId
 from repro.net.ring import HashRing
@@ -170,6 +200,11 @@ class _RingView:
             return self._ring.owner_excluding(key, self.failed)
         return self._ring.owner(key)
 
+    def owners(self, key: str, count: int) -> List[str]:
+        """The key's live owner followed by its live replica successors
+        (successor replication's placement list, at most ``count``)."""
+        return self._ring.successors(key, count, excluded=self.failed)
+
 
 class _HostNode(Node):
     """One physical DHT peer, hosting whatever roles the ring assigns it."""
@@ -227,6 +262,39 @@ class _HostNode(Node):
         self.nc_memo: Dict[
             Tuple[int, TransactionId], Tuple[int, UpdateExtension]
         ] = {}
+        # Successor replication (PR 6): how many copies of each record
+        # the ring keeps (1 = primary only), and the replicas this host
+        # holds for keys it does not own, keyed by (role, key).
+        self.replication = 1
+        self.replicas: Dict[Tuple[str, Any], Any] = {}
+        # At-most-once epoch allocation: publisher -> (request id, epoch),
+        # so a retried or duplicated request_epoch re-drives the same
+        # epoch instead of burning a new one.
+        self.last_alloc: Dict[int, Tuple[Any, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Forget everything — a crash loses the host's in-memory state.
+
+        What survives a crash is whatever the rest of the ring holds:
+        successor replicas (``replication >= 2``), the pollable epoch
+        history, and the trust policies the driver re-sends on recovery.
+        """
+        self.derivations.clear()
+        self.cf_bodies.clear()
+        self.epoch_counter = 0
+        self.epochs.clear()
+        self.txns.clear()
+        self.producers.clear()
+        self.peers.clear()
+        self.policies.clear()
+        self.served.clear()
+        self.delivered.clear()
+        self.nc_derivations.clear()
+        self.nc_memo.clear()
+        self.replicas.clear()
+        self.last_alloc.clear()
 
     # ------------------------------------------------------------------
 
@@ -237,41 +305,363 @@ class _HostNode(Node):
             raise StoreError(f"host cannot handle message kind {message.kind!r}")
         handler(network, message)
 
+    # -- successor replication (PR 6) -----------------------------------
+
+    @staticmethod
+    def _role_key(role: str, key: Any) -> str:
+        """The ring key a replicated (role, key) record routes by."""
+        if role in ("txn", "txn_decision"):
+            return f"txn:{key}"
+        if role == "epoch":
+            return f"epoch:{key}"
+        if role == "producer":
+            relation, row = key
+            return f"value:{relation}:{row!r}"
+        if role == "peer":
+            return f"peer:{key}"
+        if role == "epoch_counter":
+            return "epoch-allocator"
+        raise StoreError(f"unknown replication role {role!r}")
+
+    @staticmethod
+    def _txn_state(record: Dict[str, Any]) -> Dict[str, Any]:
+        """A detached copy of a transaction record for shipping.  The
+        derived context-free extension is not replicated: a promoted
+        replica serves bodies and verdicts, and clients recompute
+        extensions locally — the maskable degradation."""
+        return {
+            "transaction": record["transaction"],
+            "antecedents": record["antecedents"],
+            "order": record["order"],
+            "decisions": dict(record["decisions"]),
+            "context_free": None,
+        }
+
+    @staticmethod
+    def _epoch_state(record: Dict[str, Any]) -> Dict[str, Any]:
+        """A detached copy of an epoch record for shipping."""
+        return {
+            "publisher": record["publisher"],
+            "ids": list(record["ids"]),
+            "complete": record["complete"],
+        }
+
+    def _replicate(
+        self,
+        network: Network,
+        role: str,
+        key: Any,
+        state: Any,
+        fragments: int = 1,
+        size_bytes: int = 0,
+    ) -> None:
+        """Ship one record copy to each live successor (priced)."""
+        if self.replication < 2 or self.ring is None:
+            return
+        owners = self.ring.owners(self._role_key(role, key), self.replication)
+        for target in owners:
+            if target == self.name:
+                continue
+            network.send(
+                self.name,
+                target,
+                "replicate",
+                _fragments=fragments,
+                _size_bytes=size_bytes,
+                role=role,
+                key=key,
+                state=state,
+            )
+
+    def _replicate_txn(self, network: Network, record: Dict[str, Any]) -> None:
+        transaction = record["transaction"]
+        self._replicate(
+            network,
+            "txn",
+            transaction.tid,
+            self._txn_state(record),
+            fragments=_payload_fragments(transaction),
+            size_bytes=_body_bytes(transaction),
+        )
+
+    def _install_primary(self, role: str, key: Any, state: Any) -> None:
+        """Adopt a shipped record as this host's primary copy (the
+        takeover-promotion and rebalance paths).  Merges keep the most
+        advanced copy when several holders re-ship the same record."""
+        if role == "txn":
+            existing = self.txns.get(key)
+            if existing is None or (
+                len(existing["decisions"]) < len(state["decisions"])
+            ):
+                self.txns[key] = state
+        elif role == "epoch":
+            existing = self.epochs.get(key)
+            if existing is None or (
+                state["complete"] and not existing["complete"]
+            ):
+                self.epochs[key] = state
+        elif role == "producer":
+            self.producers[key] = state
+        elif role == "peer":
+            existing = self.peers.get(key)
+            if existing is None or (
+                existing["last_recon_epoch"] < state["last_recon_epoch"]
+            ):
+                self.peers[key] = state
+        elif role == "epoch_counter":
+            self.epoch_counter = max(self.epoch_counter, state)
+
+    def _install_replica(self, role: str, key: Any, state: Any) -> None:
+        """File a shipped record as a replica (same merge rules)."""
+        slot = (role, key)
+        existing = self.replicas.get(slot)
+        if existing is not None:
+            if role == "txn" and (
+                len(existing["decisions"]) > len(state["decisions"])
+            ):
+                return
+            if role == "epoch" and existing["complete"]:
+                return
+            if role == "peer" and (
+                existing["last_recon_epoch"] > state["last_recon_epoch"]
+            ):
+                return
+            if role == "epoch_counter":
+                state = max(existing, state)
+        self.replicas[slot] = state
+
+    def _on_replicate(self, network: Network, message: Message) -> None:
+        payload = message.payload
+        role, key, state = payload["role"], payload["key"], payload["state"]
+        if role == "txn_decision":
+            # A decision delta: apply to whichever copy this host holds.
+            participant, verdict = state
+            record = self.txns.get(key)
+            if record is None:
+                record = self.replicas.get(("txn", key))
+            if record is not None:
+                record["decisions"][participant] = verdict
+            return
+        if (
+            self.ring is not None
+            and self.ring.owner(self._role_key(role, key)) == self.name
+        ):
+            self._install_primary(role, key, state)
+        else:
+            self._install_replica(role, key, state)
+
+    def _on_rebalance(self, network: Network, message: Message) -> None:
+        """Re-establish the replication invariant after a host returns.
+
+        The driver broadcasts one ``rebalance`` per live host naming the
+        recovered ``target``; each host re-ships every record the target
+        should now hold (as owner or replica successor) and re-files its
+        own copies — promoting, demoting, or handing them off — under
+        the new ownership map.  Shipments are priced like write-time
+        replication, so recovery cost shows up in the network counters.
+        """
+        target = message.payload["target"]
+
+        def place(role, key, state, fragments=1, size_bytes=0):
+            owners = self.ring.owners(
+                self._role_key(role, key), self.replication
+            )
+            if target in owners and target != self.name:
+                network.send(
+                    self.name,
+                    target,
+                    "replicate",
+                    _fragments=fragments,
+                    _size_bytes=size_bytes,
+                    role=role,
+                    key=key,
+                    state=state,
+                )
+            return owners
+
+        for tid, record in list(self.txns.items()):
+            transaction = record["transaction"]
+            owners = place(
+                "txn", tid, self._txn_state(record),
+                _payload_fragments(transaction), _body_bytes(transaction),
+            )
+            if self.name not in owners:
+                if target in owners:  # handed off, not lost
+                    del self.txns[tid]
+            elif owners[0] != self.name:
+                self._install_replica("txn", tid, self.txns.pop(tid))
+        for epoch, record in list(self.epochs.items()):
+            owners = place("epoch", epoch, self._epoch_state(record))
+            if self.name not in owners:
+                if target in owners:
+                    del self.epochs[epoch]
+            elif owners[0] != self.name:
+                self._install_replica("epoch", epoch, self.epochs.pop(epoch))
+        for key, tid in list(self.producers.items()):
+            owners = place("producer", key, tid)
+            if self.name not in owners:
+                if target in owners:
+                    del self.producers[key]
+            elif owners[0] != self.name:
+                self._install_replica("producer", key, self.producers.pop(key))
+        for participant, record in list(self.peers.items()):
+            owners = place("peer", participant, dict(record))
+            if self.name not in owners:
+                if target in owners:
+                    del self.peers[participant]
+            elif owners[0] != self.name:
+                self._install_replica(
+                    "peer", participant, self.peers.pop(participant)
+                )
+        counter = self._allocator_counter()
+        if counter:
+            owners = place("epoch_counter", 0, counter)
+            if owners[0] == self.name:
+                self.epoch_counter = counter
+            else:
+                self.epoch_counter = 0
+                self.replicas.pop(("epoch_counter", 0), None)
+                if self.name in owners:
+                    self._install_replica("epoch_counter", 0, counter)
+        # Re-file held replicas under the new ownership map.
+        for (role, key), state in list(self.replicas.items()):
+            if role == "epoch_counter":
+                continue  # handled with the counter above
+            fragments, size = 1, 0
+            if role == "txn":
+                fragments = _payload_fragments(state["transaction"])
+                size = _body_bytes(state["transaction"])
+            owners = place(role, key, state, fragments, size)
+            if self.name not in owners:
+                if target in owners:
+                    del self.replicas[(role, key)]
+            elif owners[0] == self.name:
+                self._install_primary(role, key, self.replicas.pop((role, key)))
+
+    # -- replica-aware accessors ----------------------------------------
+
+    def _allocator_counter(self) -> int:
+        """The effective epoch counter: primary or surviving replica."""
+        return max(
+            self.epoch_counter, self.replicas.get(("epoch_counter", 0), 0)
+        )
+
+    def _promote(self, network: Network, role: str, key: Any):
+        """Serve a key this host now owns from its replica: promote the
+        replica to primary and re-replicate so the copy count recovers
+        (the original owner is down, so the successor chain shifted)."""
+        slot = (role, key)
+        if slot not in self.replicas:
+            return None
+        if self.ring is None or (
+            self.ring.owner(self._role_key(role, key)) != self.name
+        ):
+            return None
+        state = self.replicas.pop(slot)
+        self._install_primary(role, key, state)
+        return state
+
+    def _txn_record(
+        self, network: Network, tid: TransactionId
+    ) -> Optional[Dict[str, Any]]:
+        record = self.txns.get(tid)
+        if record is None and self._promote(network, "txn", tid) is not None:
+            record = self.txns[tid]
+            self._replicate_txn(network, record)
+        return record
+
+    def _epoch_record(
+        self, network: Network, epoch: int
+    ) -> Optional[Dict[str, Any]]:
+        record = self.epochs.get(epoch)
+        if record is None and self._promote(network, "epoch", epoch) is not None:
+            record = self.epochs[epoch]
+            self._replicate(network, "epoch", epoch, self._epoch_state(record))
+        return record
+
+    def _peer_record(
+        self, network: Network, participant: int
+    ) -> Optional[Dict[str, Any]]:
+        record = self.peers.get(participant)
+        if record is None and (
+            self._promote(network, "peer", participant) is not None
+        ):
+            record = self.peers[participant]
+            self._replicate(network, "peer", participant, dict(record))
+        return record
+
+    def _producer_lookup(
+        self, network: Network, key: Tuple[str, Tuple]
+    ) -> Optional[TransactionId]:
+        producer = self.producers.get(key)
+        if producer is None and (
+            self._promote(network, "producer", key) is not None
+        ):
+            producer = self.producers[key]
+            self._replicate(network, "producer", key, producer)
+        return producer
+
     # -- registration ---------------------------------------------------
 
     def _on_register_policy(self, network: Network, message: Message) -> None:
         payload = message.payload
         self.policies[payload["participant"]] = payload["policy"]
+        network.send(
+            self.name,
+            message.sender,
+            "policy_registered",
+            participant=payload["participant"],
+            req=payload.get("req"),
+        )
 
     # -- epoch allocator (Figure 6, messages 1-4) -----------------------
 
     def _on_request_epoch(self, network: Network, message: Message) -> None:
-        self.epoch_counter += 1
-        epoch = self.epoch_counter
+        payload = message.payload
+        publisher = payload["publisher"]
+        req = payload.get("req")
+        last = self.last_alloc.get(publisher)
+        if req is not None and last is not None and last[0] == req:
+            # At-most-once: a retried (or duplicated) request re-drives
+            # the already-allocated epoch instead of burning a new one.
+            epoch = last[1]
+        else:
+            self.epoch_counter = self._allocator_counter() + 1
+            epoch = self.epoch_counter
+            self.last_alloc[publisher] = (req, epoch)
+            self._replicate(network, "epoch_counter", 0, self.epoch_counter)
         controller = self.ring.owner(f"epoch:{epoch}")
         network.send(
             self.name,
             controller,
             "begin_epoch",
             epoch=epoch,
-            publisher=message.payload["publisher"],
+            publisher=publisher,
             reply_to=message.sender,
+            req=req,
         )
 
     def _on_begin_epoch(self, network: Network, message: Message) -> None:
         payload = message.payload
-        self.epochs[payload["epoch"]] = {
-            "publisher": payload["publisher"],
-            "ids": [],
-            "complete": False,
-        }
+        epoch = payload["epoch"]
+        record = self._epoch_record(network, epoch)
+        if record is None:
+            # A duplicated begin_epoch must not reopen an existing
+            # (possibly completed) epoch record.
+            record = self.epochs[epoch] = {
+                "publisher": payload["publisher"],
+                "ids": [],
+                "complete": False,
+            }
+            self._replicate(network, "epoch", epoch, self._epoch_state(record))
         allocator = self.ring.owner("epoch-allocator")
         network.send(
             self.name,
             allocator,
             "epoch_begun",
-            epoch=payload["epoch"],
+            epoch=epoch,
             reply_to=payload["reply_to"],
+            req=payload.get("req"),
         )
 
     def _on_epoch_begun(self, network: Network, message: Message) -> None:
@@ -281,11 +671,16 @@ class _HostNode(Node):
             payload["reply_to"],
             "begin_publishing",
             epoch=payload["epoch"],
+            req=payload.get("req"),
         )
 
     def _on_get_current_epoch(self, network: Network, message: Message) -> None:
         network.send(
-            self.name, message.sender, "current_epoch", epoch=self.epoch_counter
+            self.name,
+            message.sender,
+            "current_epoch",
+            epoch=self._allocator_counter(),
+            req=message.payload.get("req"),
         )
 
     def _on_poll_max_epoch(self, network: Network, message: Message) -> None:
@@ -294,37 +689,49 @@ class _HostNode(Node):
         Section 5.2.2: "if this peer were to fail, its data could be
         reconstructed by polling for the largest epoch present in the
         system" — every node answers with the largest epoch among those it
-        controls (or has allocated).
+        controls (or has allocated), including replicated epoch records.
         """
         known = max(self.epochs, default=0)
+        replicated = max(
+            (key for role, key in self.replicas if role == "epoch"),
+            default=0,
+        )
         network.send(
             self.name,
             message.sender,
             "max_epoch",
-            epoch=max(known, self.epoch_counter),
+            epoch=max(known, replicated, self._allocator_counter()),
+            req=message.payload.get("req"),
         )
 
     def _on_set_epoch_counter(self, network: Network, message: Message) -> None:
         self.epoch_counter = max(self.epoch_counter, message.payload["epoch"])
+        self._replicate(network, "epoch_counter", 0, self.epoch_counter)
         network.send(
             self.name, message.sender, "epoch_counter_set",
             epoch=self.epoch_counter,
+            req=message.payload.get("req"),
         )
 
     # -- epoch controller (Figure 6, messages 5-6) ----------------------
 
     def _on_publish_ids(self, network: Network, message: Message) -> None:
         payload = message.payload
-        record = self.epochs.get(payload["epoch"])
-        if record is None:  # pragma: no cover - protocol guarantee
+        record = self._epoch_record(network, payload["epoch"])
+        if record is None:
             raise StoreError(f"epoch {payload['epoch']} was never begun here")
-        record["ids"] = list(payload["ids"])
-        record["complete"] = True
+        if not record["complete"]:  # duplicate closes are no-ops
+            record["ids"] = list(payload["ids"])
+            record["complete"] = True
+            self._replicate(
+                network, "epoch", payload["epoch"], self._epoch_state(record)
+            )
         network.send(
             self.name,
             message.sender,
             "epoch_finished",
             epoch=payload["epoch"],
+            req=payload.get("req"),
         )
 
     def _on_get_epoch_contents(self, network: Network, message: Message) -> None:
@@ -337,7 +744,7 @@ class _HostNode(Node):
         payload = message.payload
         results = []
         for epoch in payload["epochs"]:
-            record = self.epochs.get(epoch)
+            record = self._epoch_record(network, epoch)
             results.append(
                 {
                     "epoch": epoch,
@@ -347,7 +754,8 @@ class _HostNode(Node):
                 }
             )
         network.send(
-            self.name, message.sender, "epoch_contents", results=results
+            self.name, message.sender, "epoch_contents", results=results,
+            req=payload.get("req"),
         )
 
     # -- value controllers (producer index) -----------------------------
@@ -361,29 +769,45 @@ class _HostNode(Node):
             "producer_is",
             relation=payload["relation"],
             row=payload["row"],
-            producer=self.producers.get(key),
+            producer=self._producer_lookup(network, key),
+            req=payload.get("req"),
         )
 
     def _on_register_producer(self, network: Network, message: Message) -> None:
         payload = message.payload
-        self.producers[(payload["relation"], payload["row"])] = payload["tid"]
+        key = (payload["relation"], payload["row"])
+        self.producers[key] = payload["tid"]
+        self._replicate(network, "producer", key, payload["tid"])
+        network.send(
+            self.name,
+            message.sender,
+            "producer_registered",
+            relation=payload["relation"],
+            row=payload["row"],
+            req=payload.get("req"),
+        )
 
     # -- transaction controllers ----------------------------------------
 
     def _on_store_txn(self, network: Network, message: Message) -> None:
         payload = message.payload
         transaction: Transaction = payload["transaction"]
-        self.txns[transaction.tid] = {
-            "transaction": transaction,
-            "antecedents": tuple(payload["antecedents"]),
-            "order": payload["order"],
-            "decisions": {transaction.origin: "applied"},
-            "context_free": None,
-        }
+        record = self._txn_record(network, transaction.tid)
+        fresh = record is None
+        if fresh:
+            record = self.txns[transaction.tid] = {
+                "transaction": transaction,
+                "antecedents": tuple(payload["antecedents"]),
+                "order": payload["order"],
+                "decisions": {transaction.origin: "applied"},
+                "context_free": None,
+            }
+            self._replicate_txn(network, record)
         network.send(
-            self.name, message.sender, "txn_stored", tid=transaction.tid
+            self.name, message.sender, "txn_stored", tid=transaction.tid,
+            req=payload.get("req"),
         )
-        if self._ship_context_free:
+        if fresh and self._ship_context_free:
             self._begin_cf_derivation(network, transaction.tid)
 
     # -- context-free derivation (derive once at publish) ---------------
@@ -456,7 +880,7 @@ class _HostNode(Node):
     def _on_cf_fetch(self, network: Network, message: Message) -> None:
         payload = message.payload
         tid: TransactionId = payload["tid"]
-        record = self.txns.get(tid)
+        record = self._txn_record(network, tid)
         if record is None:
             network.send(
                 self.name,
@@ -552,7 +976,7 @@ class _HostNode(Node):
         payload = message.payload
         tid: TransactionId = payload["tid"]
         participant: int = payload["participant"]
-        record = self.txns.get(tid)
+        record = self._txn_record(network, tid)
         if record is None:
             # Same reply a client-centric request_txn gets for a lost
             # record; the driver ignores it either way, so the root
@@ -667,7 +1091,7 @@ class _HostNode(Node):
         body when the asking controller does not hold it yet."""
         payload = message.payload
         tid: TransactionId = payload["tid"]
-        record = self.txns.get(tid)
+        record = self._txn_record(network, tid)
         if record is None:
             network.send(
                 self.name,
@@ -869,7 +1293,7 @@ class _HostNode(Node):
         if (token, tid) in self.served:
             return  # someone already triggered this delivery
 
-        record = self.txns.get(tid)
+        record = self._txn_record(network, tid)
         if record is None:
             network.send(self.name, client, "txn_unknown", tid=tid)
             return
@@ -939,10 +1363,27 @@ class _HostNode(Node):
 
     def _on_record_decision(self, network: Network, message: Message) -> None:
         payload = message.payload
-        record = self.txns.get(payload["tid"])
-        if record is None:  # pragma: no cover - protocol guarantee
-            raise StoreError(f"no such transaction {payload['tid']}")
+        record = self._txn_record(network, payload["tid"])
+        if record is None:
+            # The record is gone (a crash beyond the replication
+            # budget): acknowledge so the client stops retrying — the
+            # verdict is lost with the record.
+            network.send(
+                self.name,
+                message.sender,
+                "decision_recorded",
+                tid=payload["tid"],
+                retired=False,
+                req=payload.get("req"),
+            )
+            return
         record["decisions"][payload["participant"]] = payload["verdict"]
+        self._replicate(
+            network,
+            "txn_decision",
+            payload["tid"],
+            (payload["participant"], payload["verdict"]),
+        )
         # A final verdict retires the per-participant derived extension:
         # this participant can never be served this root again.  A
         # deferral keeps it — the next round's re-derivation becomes a
@@ -970,28 +1411,40 @@ class _HostNode(Node):
             "decision_recorded",
             tid=payload["tid"],
             retired=retired,
+            req=payload.get("req"),
         )
 
     # -- peer coordinators ----------------------------------------------
 
     def _on_record_recon(self, network: Network, message: Message) -> None:
         payload = message.payload
-        record = self.peers.setdefault(
-            payload["participant"], {"last_recon_epoch": 0}
+        record = self._peer_record(network, payload["participant"])
+        if record is None:
+            record = self.peers.setdefault(
+                payload["participant"], {"last_recon_epoch": 0}
+            )
+        # Monotone: a duplicated stale record_recon must not regress.
+        record["last_recon_epoch"] = max(
+            record["last_recon_epoch"], payload["epoch"]
         )
-        record["last_recon_epoch"] = payload["epoch"]
+        self._replicate(
+            network, "peer", payload["participant"], dict(record)
+        )
         network.send(
-            self.name, message.sender, "recon_recorded", epoch=payload["epoch"]
+            self.name, message.sender, "recon_recorded",
+            epoch=record["last_recon_epoch"],
+            req=payload.get("req"),
         )
 
     def _on_get_last_recon(self, network: Network, message: Message) -> None:
         payload = message.payload
-        record = self.peers.get(payload["participant"], {"last_recon_epoch": 0})
+        record = self._peer_record(network, payload["participant"])
         network.send(
             self.name,
             message.sender,
             "last_recon",
-            epoch=record["last_recon_epoch"],
+            epoch=record["last_recon_epoch"] if record else 0,
+            req=payload.get("req"),
         )
 
 
@@ -1039,6 +1492,8 @@ class DhtUpdateStore(UpdateStore):
         cache_bodies: bool = True,
         ship_context_free: bool = True,
         real_latency: bool = False,
+        replication_factor: int = 1,
+        max_retries: int = 3,
     ) -> None:
         """``cache_bodies=False`` ablates the soft-state body cache:
         controllers re-ship full transaction payloads on every delivery,
@@ -1048,10 +1503,21 @@ class DhtUpdateStore(UpdateStore):
         ``ship_context_free=False`` restores the paper's
         client-compute-only distributed store: controllers derive and
         ship nothing, no pair memo travels, and the instance's
-        capability flags are downgraded to match."""
+        capability flags are downgraded to match.
+
+        ``replication_factor=k`` keeps each record on its owner plus the
+        next ``k - 1`` live ring successors (priced ``replicate``
+        messages), so a host crash is survivable without data loss;
+        ``max_retries`` bounds the per-request retry budget the driver
+        spends before raising
+        :class:`~repro.errors.RetryExhaustedError`."""
         super().__init__(schema, message_latency, real_latency=real_latency)
         if hosts < 1:
             raise StoreError("the DHT needs at least one host node")
+        if replication_factor < 1:
+            raise StoreError("replication_factor must be >= 1")
+        if max_retries < 0:
+            raise StoreError("max_retries must be >= 0")
         if not ship_context_free:
             self.capabilities = replace(
                 type(self).capabilities,
@@ -1074,6 +1540,12 @@ class DhtUpdateStore(UpdateStore):
         self._ring = _RingView(HashRing(host_names))
         for node in self._hosts.values():
             node.ring = self._ring
+            node.replication = replication_factor
+        self._replication = replication_factor
+        self._max_retries = max_retries
+        self._req_counter = 0
+        #: Retries performed so far (surfaced by reports and tests).
+        self.retries = 0
         self._clients: Dict[int, _ClientNode] = {}
         self._policies: Dict[int, TrustPolicy] = {}
         self._token_counter = 0
@@ -1135,6 +1607,76 @@ class DhtUpdateStore(UpdateStore):
     def _owner(self, key: str) -> str:
         return self._ring.owner(key)
 
+    @property
+    def replication_factor(self) -> int:
+        """Copies kept per record (1 = primary only)."""
+        return self._replication
+
+    # ------------------------------------------------------------------
+    # Retryable request/reply transport (PR 6)
+
+    def _request(
+        self,
+        client: _ClientNode,
+        key: Optional[str],
+        kind: str,
+        reply_kind: str,
+        *,
+        recipient: Optional[str] = None,
+        fragments: int = 1,
+        size_bytes: int = 0,
+        **payload: Any,
+    ) -> Dict[str, Any]:
+        """One request/reply exchange with bounded deterministic retry.
+
+        The request id stays stable across attempts (handlers are
+        idempotent, and the epoch allocator deduplicates by it), the
+        recipient is re-resolved from the ring per attempt when
+        addressed by ``key`` (so a retry lands on the takeover owner),
+        and each retry charges exponential backoff to the perf clock as
+        its timeout cost.  Runs out of attempts ->
+        :class:`~repro.errors.RetryExhaustedError`.
+        """
+        self._req_counter += 1
+        req = self._req_counter
+        target = recipient
+        last_error: Optional[StoreError] = None
+        for attempt in range(self._max_retries + 1):
+            if key is not None:
+                target = self._owner(key)
+            if attempt:
+                self._note_retry(kind, target, attempt)
+            self._network.send(
+                client.name,
+                target,
+                kind,
+                _fragments=fragments,
+                _size_bytes=size_bytes,
+                req=req,
+                **payload,
+            )
+            self._run()
+            try:
+                return self._expect(
+                    client, reply_kind, req=req, request=(target, kind, req)
+                )
+            except RetryExhaustedError:
+                raise
+            except StoreError as error:
+                last_error = error
+        raise RetryExhaustedError(
+            f"no {reply_kind!r} reply from {target!r} to {kind!r} "
+            f"(request id {req}) after {self._max_retries + 1} attempts"
+        ) from last_error
+
+    def _note_retry(
+        self, kind: str, recipient: Optional[str], attempt: int
+    ) -> None:
+        """Charge a retry's timeout backoff and surface it as an event."""
+        self.perf.simulated_seconds += self._message_latency * (2 ** attempt)
+        self.retries += 1
+        self._emit("retry", kind=kind, recipient=recipient, attempt=attempt)
+
     # ------------------------------------------------------------------
     # Registration
 
@@ -1149,14 +1691,17 @@ class DhtUpdateStore(UpdateStore):
         self._policies[participant] = policy
         self._network.add_node(client)
         for host in self._hosts:
-            self._network.send(
-                client.name,
-                host,
+            if host in self._failed_hosts:
+                continue  # re-sent by recover_host when it returns
+            self._request(
+                client,
+                None,
                 "register_policy",
+                "policy_registered",
+                recipient=host,
                 participant=participant,
                 policy=policy,
             )
-        self._run()
         client.drain()
 
     # ------------------------------------------------------------------
@@ -1174,16 +1719,22 @@ class DhtUpdateStore(UpdateStore):
         return epoch
 
     def begin_publish(self, participant: int) -> int:
-        """Figure 6, messages 1-4: obtain an epoch from the allocator."""
+        """Figure 6, messages 1-4: obtain an epoch from the allocator.
+
+        The request id makes allocation at-most-once: the allocator
+        re-drives the same epoch for a retried (or duplicated) request,
+        so a lost ``begin_publishing`` reply never burns an epoch.
+        """
         client = self._client(participant)
-        self._network.send(
-            client.name,
-            self._owner("epoch-allocator"),
+        reply = self._request(
+            client,
+            "epoch-allocator",
             "request_epoch",
+            "begin_publishing",
             publisher=participant,
         )
-        self._run()
-        epoch = self._expect(client, "begin_publishing")["epoch"]
+        client.drain()
+        epoch = reply["epoch"]
         self._open_epochs[(participant, epoch)] = []
         return epoch
 
@@ -1205,12 +1756,13 @@ class DhtUpdateStore(UpdateStore):
         for transaction in transactions:
             antecedents = self._compute_antecedents_remote(client, transaction)
             order = epoch * _EPOCH_STRIDE + len(ids)
-            self._network.send(
-                client.name,
-                self._owner(f"txn:{transaction.tid}"),
+            self._request(
+                client,
+                f"txn:{transaction.tid}",
                 "store_txn",
-                _fragments=_payload_fragments(transaction),
-                _size_bytes=_body_bytes(transaction),
+                "txn_stored",
+                fragments=_payload_fragments(transaction),
+                size_bytes=_body_bytes(transaction),
                 transaction=transaction,
                 antecedents=antecedents,
                 order=order,
@@ -1218,15 +1770,15 @@ class DhtUpdateStore(UpdateStore):
             for update in transaction.updates:
                 written = update.written_row()
                 if written is not None:
-                    self._network.send(
-                        client.name,
-                        self._owner(f"value:{update.relation}:{written!r}"),
+                    self._request(
+                        client,
+                        f"value:{update.relation}:{written!r}",
                         "register_producer",
+                        "producer_registered",
                         relation=update.relation,
                         row=written,
                         tid=transaction.tid,
                     )
-            self._run()
             client.drain()
             ids.append(transaction.tid)
 
@@ -1238,15 +1790,15 @@ class DhtUpdateStore(UpdateStore):
             raise StoreError(
                 f"epoch {epoch} is not being published by {participant}"
             )
-        self._network.send(
-            client.name,
-            self._owner(f"epoch:{epoch}"),
+        self._request(
+            client,
+            f"epoch:{epoch}",
             "publish_ids",
+            "epoch_finished",
             epoch=epoch,
             ids=ids,
         )
-        self._run()
-        self._expect(client, "epoch_finished")
+        client.drain()
 
     def _compute_antecedents_remote(
         self, client: _ClientNode, transaction: Transaction
@@ -1281,15 +1833,14 @@ class DhtUpdateStore(UpdateStore):
         transaction: Transaction,
     ) -> None:
         read = update.read_row()
-        self._network.send(
-            client.name,
-            self._owner(f"value:{update.relation}:{read!r}"),
+        reply = self._request(
+            client,
+            f"value:{update.relation}:{read!r}",
             "lookup_producer",
+            "producer_is",
             relation=update.relation,
             row=read,
         )
-        self._run()
-        reply = self._expect(client, "producer_is")
         producer = reply["producer"]
         if (
             producer is not None
@@ -1309,35 +1860,32 @@ class DhtUpdateStore(UpdateStore):
         newly stable epoch (one batched request per distinct epoch
         controller), and record the reconciliation at the peer
         coordinator.  Returns ``(stable, {epoch: ids})``."""
-        self._network.send(
-            client.name,
-            self._owner("epoch-allocator"),
-            "get_current_epoch",
-        )
-        self._run()
-        current = self._expect(client, "current_epoch")["epoch"]
+        current = self._request(
+            client, "epoch-allocator", "get_current_epoch", "current_epoch"
+        )["epoch"]
 
-        self._network.send(
-            client.name,
-            self._owner(f"peer:{participant}"),
+        last = self._request(
+            client,
+            f"peer:{participant}",
             "get_last_recon",
+            "last_recon",
             participant=participant,
-        )
-        self._run()
-        last = self._expect(client, "last_recon")["epoch"]
+        )["epoch"]
 
         by_controller: Dict[str, List[int]] = {}
         for epoch in range(last + 1, current + 1):
             controller = self._owner(f"epoch:{epoch}")
             by_controller.setdefault(controller, []).append(epoch)
-        for controller, epochs in by_controller.items():
-            self._network.send(
-                client.name, controller, "get_epoch_contents", epochs=epochs
-            )
-        self._run()
         per_epoch: Dict[int, Dict] = {}
-        for _ in range(len(by_controller)):
-            reply = self._expect(client, "epoch_contents")
+        for controller, epochs in by_controller.items():
+            reply = self._request(
+                client,
+                None,
+                "get_epoch_contents",
+                "epoch_contents",
+                recipient=controller,
+                epochs=epochs,
+            )
             for entry in reply["results"]:
                 per_epoch[entry["epoch"]] = entry
         contents: Dict[int, List[TransactionId]] = {}
@@ -1349,33 +1897,51 @@ class DhtUpdateStore(UpdateStore):
             contents[epoch] = entry["ids"]
             stable = epoch
 
-        self._network.send(
-            client.name,
-            self._owner(f"peer:{participant}"),
+        self._request(
+            client,
+            f"peer:{participant}",
             "record_recon",
+            "recon_recorded",
             participant=participant,
             epoch=stable,
         )
-        self._run()
-        self._expect(client, "recon_recorded")
         return stable, contents
 
-    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
-        """Assemble the next batch via the distributed retrieval protocol."""
-        client = self._client(participant)
-        stable, contents = self._discover_stable(participant, client)
+    def _retrieve_roots(
+        self,
+        participant: int,
+        client: _ClientNode,
+        root_tids: Set[TransactionId],
+    ) -> Tuple[
+        Dict[TransactionId, Dict[str, Any]], Dict[TransactionId, Dict[str, Any]]
+    ]:
+        """Figure-7 retrieval of ``root_tids`` with bounded batch retry.
 
-        # Request every candidate root; controllers forward antecedents.
-        self._token_counter += 1
-        token = f"recon:{participant}:{self._token_counter}"
-        requested_roots: Set[TransactionId] = set()
-        for epoch in sorted(contents):
-            if epoch > stable:
-                continue
-            for tid in contents[epoch]:
-                if tid.participant == participant:
-                    continue
-                requested_roots.add(tid)
+        Returns ``(root_payloads, bodies)``: the as-root ``txn_data``
+        payloads and every closure body delivered (roots included).
+        After each round the driver checks closure completeness — every
+        antecedent of a delivered body must itself have been answered
+        (``txn_data`` / ``txn_irrelevant`` / ``txn_unknown``) — and
+        re-requests losses under a *fresh* token, because the
+        controllers' per-token dedup would silently absorb a same-token
+        re-request.  Losses that persist past ``max_retries`` raise
+        :class:`~repro.errors.RetryExhaustedError`; a record that is
+        genuinely gone answers ``txn_unknown`` and is not retried.
+        """
+        root_payloads: Dict[TransactionId, Dict[str, Any]] = {}
+        bodies: Dict[TransactionId, Dict[str, Any]] = {}
+        answered: Set[TransactionId] = set()
+        root_answered: Set[TransactionId] = set()
+        pending_roots = set(root_tids)
+        pending_members: Set[TransactionId] = set()
+        for attempt in range(self._max_retries + 1):
+            if not pending_roots and not pending_members:
+                break
+            if attempt:
+                self._note_retry("request_txn", None, attempt)
+            self._token_counter += 1
+            token = f"recon:{participant}:{self._token_counter}"
+            for tid in sorted(pending_roots):
                 self._network.send(
                     client.name,
                     self._owner(f"txn:{tid}"),
@@ -1386,33 +1952,86 @@ class DhtUpdateStore(UpdateStore):
                     token=token,
                     as_root=True,
                 )
-        self._run()
+            for tid in sorted(pending_members):
+                self._network.send(
+                    client.name,
+                    self._owner(f"txn:{tid}"),
+                    "request_txn",
+                    tid=tid,
+                    participant=participant,
+                    client=client.name,
+                    token=token,
+                    as_root=False,
+                )
+            self._run()
+            for message in client.drain():
+                payload = message.payload
+                if message.kind == "txn_data":
+                    tid = payload["tid"]
+                    answered.add(tid)
+                    bodies.setdefault(tid, payload)
+                    if payload["as_root"] and tid in root_tids:
+                        root_answered.add(tid)
+                        root_payloads.setdefault(tid, payload)
+                elif message.kind in ("txn_irrelevant", "txn_unknown"):
+                    tid = payload["tid"]
+                    answered.add(tid)
+                    root_answered.add(tid)
+            pending_roots = set(root_tids) - root_answered
+            needed: Set[TransactionId] = set()
+            for payload in bodies.values():
+                needed.update(payload["antecedents"])
+            pending_members = needed - answered
+        if pending_roots or pending_members:
+            missing = sorted(
+                str(tid) for tid in pending_roots | pending_members
+            )
+            raise RetryExhaustedError(
+                f"reconciliation retrieval for participant {participant} "
+                f"is missing replies for {missing} after "
+                f"{self._max_retries + 1} attempts"
+            )
+        return root_payloads, bodies
+
+    def begin_reconciliation(self, participant: int) -> ReconciliationBatch:
+        """Assemble the next batch via the distributed retrieval protocol."""
+        client = self._client(participant)
+        stable, contents = self._discover_stable(participant, client)
+
+        # Request every candidate root; controllers forward antecedents.
+        root_tids: Set[TransactionId] = set()
+        for epoch in sorted(contents):
+            if epoch > stable:
+                continue
+            for tid in contents[epoch]:
+                if tid.participant != participant:
+                    root_tids.add(tid)
+        root_payloads, bodies = self._retrieve_roots(
+            participant, client, root_tids
+        )
 
         roots: List[RelevantTransaction] = []
         graph = TransactionGraph()
         shipped: Dict[TransactionId, UpdateExtension] = {}
-        for message in client.drain():
-            if message.kind != "txn_data":
-                continue
-            payload = message.payload
+        for payload in bodies.values():
             graph.add(
                 payload["transaction"],
                 payload["antecedents"],
                 payload["order"],
             )
-            if payload["as_root"] and payload["tid"] in requested_roots:
-                roots.append(
-                    RelevantTransaction(
-                        transaction=payload["transaction"],
-                        priority=payload["priority"],
-                        order=payload["order"],
-                    )
+        for tid, payload in root_payloads.items():
+            roots.append(
+                RelevantTransaction(
+                    transaction=payload["transaction"],
+                    priority=payload["priority"],
+                    order=payload["order"],
                 )
-                extension = payload.get("context_free")
-                if extension is not None:
-                    shipped[payload["tid"]] = self._cf_with_priority(
-                        payload["tid"], extension, payload["priority"]
-                    )
+            )
+            extension = payload.get("context_free")
+            if extension is not None:
+                shipped[tid] = self._cf_with_priority(
+                    tid, extension, payload["priority"]
+                )
         batch = ReconciliationBatch(
             recno=stable,
             roots=sorted(roots, key=lambda r: r.order),
@@ -1494,36 +2113,62 @@ class DhtUpdateStore(UpdateStore):
             if tid not in candidates:
                 candidates.append(tid)
 
-        self._token_counter += 1
-        token = f"ncrecon:{participant}:{self._token_counter}"
-        for tid in candidates:
-            self._network.send(
-                client.name,
-                self._owner(f"txn:{tid}"),
-                "nc_request",
-                tid=tid,
-                participant=participant,
-                version=peer["version"],
-                client=client.name,
-                token=token,
+        token = ""
+        pending = list(candidates)
+        answered: Set[TransactionId] = set()
+        data_payloads: Dict[TransactionId, Dict[str, Any]] = {}
+        failed: List[TransactionId] = []
+        # ``nc_irrelevant`` and ``txn_unknown`` replies end the root's
+        # retrieval without data: a decided/untrusted root, or one whose
+        # controller lost its record, drops out of the batch exactly as
+        # it does on the client-centric path.  Roots with *no* reply are
+        # transport losses, retried under a fresh token (stale in-flight
+        # ``nc_fetch``/``nc_member`` traffic then references a dead
+        # derivation key and is ignored).
+        for attempt in range(self._max_retries + 1):
+            if not pending:
+                break
+            if attempt:
+                self._note_retry("nc_request", None, attempt)
+            self._token_counter += 1
+            token = f"ncrecon:{participant}:{self._token_counter}"
+            for tid in pending:
+                self._network.send(
+                    client.name,
+                    self._owner(f"txn:{tid}"),
+                    "nc_request",
+                    tid=tid,
+                    participant=participant,
+                    version=peer["version"],
+                    client=client.name,
+                    token=token,
+                )
+            self._run()
+            for message in client.drain():
+                payload = message.payload
+                if message.kind == "nc_data":
+                    tid = payload["tid"]
+                    answered.add(tid)
+                    if payload["failed"]:
+                        if tid not in data_payloads and tid not in failed:
+                            failed.append(tid)
+                    else:
+                        data_payloads.setdefault(tid, payload)
+                elif message.kind in ("nc_irrelevant", "txn_unknown"):
+                    answered.add(payload["tid"])
+            pending = [tid for tid in pending if tid not in answered]
+        if pending:
+            missing = sorted(str(tid) for tid in pending)
+            raise RetryExhaustedError(
+                f"network-centric retrieval for participant {participant} "
+                f"is missing replies for {missing} after "
+                f"{self._max_retries + 1} attempts"
             )
-        self._run()
 
         roots: List[RelevantTransaction] = []
         graph = TransactionGraph()
         derived: Dict[TransactionId, UpdateExtension] = {}
-        failed: List[TransactionId] = []
-        # ``nc_irrelevant`` and ``txn_unknown`` replies are deliberately
-        # ignored: a decided/untrusted root, or one whose controller
-        # lost its record, drops out of the batch exactly as it does on
-        # the client-centric path.
-        for message in client.drain():
-            if message.kind != "nc_data":
-                continue
-            payload = message.payload
-            if payload["failed"]:
-                failed.append(payload["tid"])
-                continue
+        for payload in data_payloads.values():
             graph.add(
                 payload["transaction"],
                 payload["antecedents"],
@@ -1543,39 +2188,30 @@ class DhtUpdateStore(UpdateStore):
 
         if failed:
             # Degraded roots travel the classic client-centric protocol;
-            # the engine recomputes their extensions locally.
-            self._token_counter += 1
-            fallback = f"recon:{participant}:{self._token_counter}"
-            for tid in failed:
-                self._network.send(
-                    client.name,
-                    self._owner(f"txn:{tid}"),
-                    "request_txn",
-                    tid=tid,
-                    participant=participant,
-                    client=client.name,
-                    token=fallback,
-                    as_root=True,
-                )
-            self._run()
-            failed_set = set(failed)
-            for message in client.drain():
-                if message.kind != "txn_data":
-                    continue
-                payload = message.payload
+            # the engine recomputes their extensions locally, reaching
+            # byte-identical decisions.
+            self._emit(
+                "degraded",
+                participant=participant,
+                roots=[str(tid) for tid in failed],
+            )
+            root_payloads, bodies = self._retrieve_roots(
+                participant, client, set(failed)
+            )
+            for payload in bodies.values():
                 graph.add(
                     payload["transaction"],
                     payload["antecedents"],
                     payload["order"],
                 )
-                if payload["as_root"] and payload["tid"] in failed_set:
-                    roots.append(
-                        RelevantTransaction(
-                            transaction=payload["transaction"],
-                            priority=payload["priority"],
-                            order=payload["order"],
-                        )
+            for payload in root_payloads.values():
+                roots.append(
+                    RelevantTransaction(
+                        transaction=payload["transaction"],
+                        priority=payload["priority"],
+                        order=payload["order"],
                     )
+                )
 
         roots.sort(key=lambda root: root.order)
         batch = ReconciliationBatch(recno=stable, roots=roots, graph=graph)
@@ -1614,25 +2250,47 @@ class DhtUpdateStore(UpdateStore):
     def complete_reconciliation(
         self, participant: int, result: ReconcileResult
     ) -> None:
-        """Notify each transaction controller of the decision."""
+        """Notify each transaction controller of the decision.
+
+        Acks are matched per transaction id; unacknowledged decisions
+        are re-sent (recording is idempotent) up to the retry budget.
+        """
         client = self._client(participant)
-        decisions = [
-            (tid, "applied") for tid in result.applied
-        ] + [
-            (tid, "rejected") for tid in result.rejected
-        ] + [
-            (tid, "deferred") for tid in result.deferred
-        ]
-        for tid, verdict in decisions:
-            self._network.send(
-                client.name,
-                self._owner(f"txn:{tid}"),
-                "record_decision",
-                tid=tid,
-                participant=participant,
-                verdict=verdict,
+        pending: Dict[TransactionId, str] = {}
+        for tid in result.applied:
+            pending[tid] = "applied"
+        for tid in result.rejected:
+            pending[tid] = "rejected"
+        for tid in result.deferred:
+            pending[tid] = "deferred"
+        retired_set: Set[TransactionId] = set()
+        for attempt in range(self._max_retries + 1):
+            if not pending:
+                break
+            if attempt:
+                self._note_retry("record_decision", None, attempt)
+            for tid in sorted(pending):
+                self._network.send(
+                    client.name,
+                    self._owner(f"txn:{tid}"),
+                    "record_decision",
+                    tid=tid,
+                    participant=participant,
+                    verdict=pending[tid],
+                )
+            self._run()
+            for message in client.drain():
+                if message.kind != "decision_recorded":
+                    continue
+                pending.pop(message.payload["tid"], None)
+                if message.payload.get("retired"):
+                    retired_set.add(message.payload["tid"])
+        if pending:
+            missing = sorted(str(tid) for tid in pending)
+            raise RetryExhaustedError(
+                f"decisions for participant {participant} unacknowledged "
+                f"for {missing} after {self._max_retries + 1} attempts"
             )
-        self._run()
         # Peer-coordinator upkeep for the store-computed batch: the open
         # deferred set re-enters every network-centric batch, and the
         # applied-set version validates the controllers' per-participant
@@ -1644,19 +2302,12 @@ class DhtUpdateStore(UpdateStore):
         peer["deferred"].difference_update(result.rejected)
         if result.applied:
             peer["version"] += 1
-        retired = [
-            message.payload["tid"]
-            for message in client.drain()
-            if message.kind == "decision_recorded"
-            and message.payload.get("retired")
-        ]
-        if retired:
+        if retired_set:
             # Controllers dropped their derived extensions; retire the
             # driver-side shared memos for the same roots.
-            self._shared_pairs.discard(retired)
-            gone = set(retired)
+            self._shared_pairs.discard(sorted(retired_set))
             for key in [
-                k for k in self._cf_priority_memo if k[0] in gone
+                k for k in self._cf_priority_memo if k[0] in retired_set
             ]:
                 del self._cf_priority_memo[key]
 
@@ -1664,14 +2315,18 @@ class DhtUpdateStore(UpdateStore):
     # Failure injection and recovery (Section 5.2.2's sketch)
 
     def fail_host(self, host_name: str) -> None:
-        """Take a physical host down.
+        """Take a physical host down, losing its in-memory state.
 
         Role ownership routes around failed hosts from now on (the next
-        live node clockwise takes over each key).  State held by the
-        failed host is lost except for the epoch allocator's counter,
-        which :meth:`recover_epoch_allocator` reconstructs by polling —
-        the recovery path the paper sketches.  Full data re-replication
-        is future work in the paper and out of scope here.
+        live node clockwise takes over each key), and the victim's
+        state is wiped — a crash is honest.  What survives is whatever
+        the rest of the ring holds: with ``replication_factor >= 2``
+        the takeover owner serves every record from its successor
+        replica (promoting it on first access), and the epoch
+        allocator's counter can additionally be reconstructed by
+        polling (:meth:`recover_epoch_allocator`) — the recovery path
+        the paper sketches.  :meth:`recover_host` brings the host back
+        and re-establishes the replication invariant.
         """
         if host_name not in self._hosts:
             raise StoreError(f"unknown host {host_name!r}")
@@ -1679,8 +2334,48 @@ class DhtUpdateStore(UpdateStore):
         if not live:
             raise StoreError("cannot fail the last live host")
         self._network.fail_node(host_name)
+        self._hosts[host_name].wipe()
         self._failed_hosts.add(host_name)
         self._ring.failed.add(host_name)
+        self._emit("fault", action="crash", host=host_name)
+
+    def recover_host(self, host_name: str) -> None:
+        """Bring a crashed host back onto the ring.
+
+        The returning host rejoins with empty state: ownership routes
+        back to it immediately, the driver re-sends every trust policy
+        (policies replicate to all hosts at registration), and a
+        ``rebalance`` sweep makes each live host re-ship every record
+        the returning host should hold — as owner or replica successor
+        — and re-file its own copies under the restored ownership map.
+        All recovery traffic runs through the normal network
+        accounting, so its cost is measurable.
+        """
+        if host_name not in self._hosts:
+            raise StoreError(f"unknown host {host_name!r}")
+        if host_name not in self._failed_hosts:
+            raise StoreError(f"host {host_name!r} is not failed")
+        self._network.recover_node(host_name)
+        self._failed_hosts.discard(host_name)
+        self._ring.failed.discard(host_name)
+        client = next(iter(self._clients.values()), None)
+        sender = client.name if client is not None else host_name
+        for participant, policy in self._policies.items():
+            self._network.send(
+                sender,
+                host_name,
+                "register_policy",
+                participant=participant,
+                policy=policy,
+            )
+        for name in self._hosts:
+            if name == host_name or name in self._failed_hosts:
+                continue
+            self._network.send(sender, name, "rebalance", target=host_name)
+        self._run()
+        if client is not None:
+            client.drain()
+        self._emit("recovery", kind="host", host=host_name)
 
     def allocator_host(self) -> str:
         """The host currently owning the epoch-allocator role."""
@@ -1697,21 +2392,20 @@ class DhtUpdateStore(UpdateStore):
         live_hosts = [
             name for name in self._hosts if name not in self._failed_hosts
         ]
-        for host in live_hosts:
-            self._network.send(client.name, host, "poll_max_epoch")
-        self._run()
         largest = 0
-        for _ in range(len(live_hosts)):
-            reply = self._expect(client, "max_epoch")
+        for host in live_hosts:
+            reply = self._request(
+                client, None, "poll_max_epoch", "max_epoch", recipient=host
+            )
             largest = max(largest, reply["epoch"])
-        self._network.send(
-            client.name,
-            self._owner("epoch-allocator"),
+        reply = self._request(
+            client,
+            "epoch-allocator",
             "set_epoch_counter",
+            "epoch_counter_set",
             epoch=largest,
         )
-        self._run()
-        reply = self._expect(client, "epoch_counter_set")
+        client.drain()
         return reply["epoch"]
 
     # ------------------------------------------------------------------
@@ -1720,18 +2414,24 @@ class DhtUpdateStore(UpdateStore):
     def current_epoch(self) -> int:
         """The allocator's epoch counter (read locally, no messages)."""
         allocator = self._hosts[self._owner("epoch-allocator")]
-        return allocator.epoch_counter
+        return allocator._allocator_counter()
 
     def transaction_count(self) -> int:
-        """Total transactions stored across all controllers."""
-        return sum(len(host.txns) for host in self._hosts.values())
+        """Distinct transactions stored across controllers and replicas."""
+        tids: Set[TransactionId] = set()
+        for host in self._hosts.values():
+            tids.update(host.txns)
+            tids.update(key for role, key in host.replicas if role == "txn")
+        return len(tids)
 
     def last_reconciliation_epoch(self, participant: int) -> int:
         """The peer coordinator's record (read locally, no messages)."""
         self._client(participant)  # validate registration
         coordinator = self._hosts[self._owner(f"peer:{participant}")]
-        record = coordinator.peers.get(participant, {"last_recon_epoch": 0})
-        return record["last_recon_epoch"]
+        record = coordinator.peers.get(participant)
+        if record is None:
+            record = coordinator.replicas.get(("peer", participant))
+        return record["last_recon_epoch"] if record else 0
 
     def antecedents_of(self, tid: TransactionId) -> Tuple[TransactionId, ...]:
         """The antecedents stored at the transaction's controller."""
@@ -1744,18 +2444,35 @@ class DhtUpdateStore(UpdateStore):
         is a maintenance operation, not part of the timed protocols).
         """
         self._client(participant)  # validate registration
+        # Collect the most advanced copy of each record: primaries
+        # first, replicas filling the gaps a crash left behind.
+        records: Dict[TransactionId, Dict[str, Any]] = {}
+
+        def absorb(tid, record):
+            existing = records.get(tid)
+            if existing is None or (
+                len(existing["decisions"]) < len(record["decisions"])
+            ):
+                records[tid] = record
+
+        for host in self._hosts.values():
+            for tid, record in host.txns.items():
+                absorb(tid, record)
+        for host in self._hosts.values():
+            for (role, key), state in host.replicas.items():
+                if role == "txn":
+                    absorb(key, state)
         applied: List[Tuple[int, Transaction]] = []
         rejected: List[TransactionId] = []
         deferred: List[TransactionId] = []
-        for host in self._hosts.values():
-            for tid, record in host.txns.items():
-                verdict = record["decisions"].get(participant)
-                if verdict == "applied":
-                    applied.append((record["order"], record["transaction"]))
-                elif verdict == "rejected":
-                    rejected.append(tid)
-                elif verdict == "deferred":
-                    deferred.append(tid)
+        for tid, record in records.items():
+            verdict = record["decisions"].get(participant)
+            if verdict == "applied":
+                applied.append((record["order"], record["transaction"]))
+            elif verdict == "rejected":
+                rejected.append(tid)
+            elif verdict == "deferred":
+                deferred.append(tid)
         applied.sort(key=lambda pair: pair[0])
         return (
             [transaction for _order, transaction in applied],
@@ -1764,9 +2481,21 @@ class DhtUpdateStore(UpdateStore):
         )
 
     def _nc_lookup(self, tid: TransactionId):
-        """Driver-side transaction lookup (used by state reconstruction)."""
+        """Driver-side transaction lookup (used by state reconstruction).
+
+        Falls back from the owner's primary to any surviving copy —
+        body, antecedents, and order are immutable, so every copy
+        agrees.  (A maintenance read, not part of the timed protocols.)
+        """
         controller = self._hosts[self._owner(f"txn:{tid}")]
         record = controller.txns.get(tid)
+        if record is None:
+            record = controller.replicas.get(("txn", tid))
+        if record is None:
+            for host in self._hosts.values():
+                record = host.txns.get(tid) or host.replicas.get(("txn", tid))
+                if record is not None:
+                    break
         if record is None:
             from repro.errors import UnknownTransactionError
 
@@ -1775,13 +2504,31 @@ class DhtUpdateStore(UpdateStore):
 
     # ------------------------------------------------------------------
 
-    def _expect(self, client: _ClientNode, kind: str) -> Dict[str, Any]:
-        """Pop the first inbox message of ``kind``; error if absent."""
+    def _expect(
+        self,
+        client: _ClientNode,
+        kind: str,
+        req: Optional[int] = None,
+        request: Optional[Tuple[Optional[str], str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Pop the first inbox message of ``kind`` (and matching request
+        id when one is given); error if absent, naming the pending
+        request so a timeout is diagnosable."""
         for index, message in enumerate(client.inbox):
-            if message.kind == kind:
-                client.inbox.pop(index)
-                return message.payload
+            if message.kind != kind:
+                continue
+            if req is not None and message.payload.get("req") != req:
+                continue
+            client.inbox.pop(index)
+            return message.payload
+        pending = ""
+        if request is not None:
+            recipient, request_kind, token = request
+            pending = (
+                f" (pending request: {request_kind!r} to {recipient!r}, "
+                f"request id {token!r})"
+            )
         raise StoreError(
-            f"expected a {kind!r} reply; inbox has "
+            f"expected a {kind!r} reply{pending}; inbox has "
             f"{[m.kind for m in client.inbox]}"
         )

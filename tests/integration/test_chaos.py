@@ -1,0 +1,160 @@
+"""Chaos suite: fault plans must not change what gets decided.
+
+The robustness claim of PR 6 is observational: a confederation running
+under a :class:`~repro.net.FaultPlan` whose faults are all *maskable*
+(crashes within the replication budget, bounded drops/duplicates/delays
+within the retry budget, participant restarts) must emit a decision
+stream **byte-identical** to the fault-free baseline — faults may only
+cost messages and simulated time, never outcomes.
+
+Unmaskable faults must surface loudly, and the surface is pinned per
+schedule mode: an unbounded black hole raises
+:class:`~repro.errors.RetryExhaustedError` under the serial scheduler
+and is wrapped in :class:`~repro.errors.SchedulerError` by the threaded
+one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.confed import Confederation, ConfederationConfig, HookBus
+from repro.errors import RetryExhaustedError, SchedulerError
+from repro.net import FaultPlan, HostCrash, MessageFault, ParticipantRestart
+from repro.workload import WorkloadConfig
+
+CHAOS_SEEDS = [11, 23, 47]
+
+def maskable_plan(seed):
+    """The maskable everything-at-once plan: a controller host crash
+    that recovers mid-run, capped seeded drops on both directions of
+    the store-txn protocol, duplicated allocator replies, slow data
+    fetches, and a mid-run crash-restart of participant 3.  Every fault
+    here is within the replication/retry budget, so it must be
+    invisible in the decision stream — for *any* injection seed."""
+    return FaultPlan(
+        seed=seed,
+        crashes=(HostCrash("host:2", at_epoch=5, recover_at_epoch=10),),
+        messages=(
+            MessageFault("txn_stored", "drop", probability=0.2, times=4),
+            MessageFault("decision_recorded", "drop", probability=0.2, times=4),
+            MessageFault("epoch_is", "duplicate", probability=0.5, times=3),
+            MessageFault("txn_data", "delay", probability=0.1, times=5),
+        ),
+        restarts=(ParticipantRestart(participant=3, at_epoch=8),),
+    )
+
+
+def run_confederation(
+    store,
+    store_options,
+    seed,
+    faults=None,
+    network_centric=False,
+    schedule_mode="serial",
+):
+    """Replay the seeded evaluation schedule, recording every decision
+    event (participant, recno, tid, verdict) in emission order."""
+    config = ConfederationConfig(
+        store=store,
+        store_options=store_options,
+        peers=(1, 2, 3, 4, 5),
+        reconciliation_interval=3,
+        rounds=3,
+        final_reconcile=True,
+        network_centric=network_centric,
+        schedule_mode=schedule_mode,
+        workload=WorkloadConfig(transaction_size=2, seed=seed),
+        faults=faults,
+    )
+    log = []
+    hooks = HookBus()
+    hooks.on_decision(
+        lambda **kw: log.append(
+            (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+        )
+    )
+    with Confederation(config, hooks=hooks) as confed:
+        report = confed.run()
+        snapshots = {
+            p.id: p.instance.snapshot() for p in confed.participants
+        }
+    return log, snapshots, report
+
+
+DHT_K2 = {"hosts": 5, "replication_factor": 2}
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_maskable_faults_leave_decisions_byte_identical(seed):
+    """Workload seed and fault-plan seed both vary with the matrix."""
+    baseline = run_confederation("central", {}, seed)
+    fault_free = run_confederation("dht", DHT_K2, seed)
+    chaotic = run_confederation(
+        "dht", DHT_K2, seed, faults=maskable_plan(seed)
+    )
+    # Decision stream — order included — instances, and state ratio all
+    # match the fault-free runs exactly.
+    assert chaotic[0] == fault_free[0] == baseline[0]
+    assert chaotic[1] == fault_free[1] == baseline[1]
+    assert chaotic[2].state_ratio == baseline[2].state_ratio
+    # ... and the faults really happened.
+    summary = chaotic[2].faults
+    assert summary.injected.get("crash") == 1
+    assert summary.injected.get("drop", 0) >= 1
+    assert summary.recoveries == 2  # host rejoin + participant restart
+    assert summary.retries >= 1
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_maskable_faults_identical_in_store_computed_mode(seed):
+    """The same chaos plan over Figure 3's store-computed column."""
+    baseline = run_confederation("central", {}, seed)
+    chaotic = run_confederation(
+        "dht", DHT_K2, seed, faults=maskable_plan(seed),
+        network_centric="store",
+    )
+    assert chaotic[0] == baseline[0]
+    assert chaotic[1] == baseline[1]
+    assert chaotic[2].state_ratio == baseline[2].state_ratio
+    assert chaotic[2].faults.injected.get("crash") == 1
+
+
+BLACK_HOLE = FaultPlan(
+    seed=1,
+    messages=(
+        MessageFault("epoch_contents", "drop", probability=1.0, times=None),
+    ),
+)
+
+
+def test_unmaskable_fault_raises_retry_exhausted_serial():
+    with pytest.raises(RetryExhaustedError):
+        run_confederation(
+            "dht", {"hosts": 5, "max_retries": 2}, 11, faults=BLACK_HOLE
+        )
+
+
+def test_unmaskable_fault_raises_scheduler_error_threaded():
+    """The threaded scheduler wraps the per-participant reconcile
+    failure; the retry exhaustion stays visible in the message."""
+    with pytest.raises(SchedulerError) as excinfo:
+        run_confederation(
+            "dht",
+            {"hosts": 5, "max_retries": 2},
+            11,
+            faults=BLACK_HOLE,
+            schedule_mode="threaded",
+        )
+    assert "reconcile phase failed" in str(excinfo.value)
+
+
+def test_fault_free_plan_changes_nothing():
+    """An empty plan attached to the config is inert: same decisions,
+    zero injections reported."""
+    seed = CHAOS_SEEDS[0]
+    plain = run_confederation("dht", DHT_K2, seed)
+    empty = run_confederation("dht", DHT_K2, seed, faults=FaultPlan(seed=9))
+    assert empty[0] == plain[0]
+    assert empty[2].faults.total_injected == 0
+    assert empty[2].faults.recoveries == 0

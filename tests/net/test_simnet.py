@@ -86,6 +86,29 @@ class TestNetwork:
         assert net.run() == 1
         assert b.received == []
 
+    def test_dropped_messages_are_not_accounted(self):
+        # A drop to a failed node must leave every counter untouched:
+        # the clock, the message counter, the byte total, and the kind
+        # counts only reflect deliveries that happened.
+        net = Network(latency=0.001, drop_to_failed=True)
+        a, b = EchoNode("a"), EchoNode("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.fail_node("b")
+        net.send("a", "b", "ping", _fragments=3, _size_bytes=999)
+        net.run()
+        assert net.messages_delivered == 0
+        assert net.bytes_delivered == 0
+        assert net.simulated_seconds == 0.0
+        assert net.kind_counts == {}
+        # Recovery restores normal accounting.
+        net.recover_node("b")
+        net.send("a", "b", "ping")
+        net.run()
+        assert net.messages_delivered == 2  # ping + pong
+        assert net.simulated_seconds == pytest.approx(0.002)
+        assert net.kind_counts == {"ping": 1, "pong": 1}
+
     def test_recovery(self):
         net = Network(drop_to_failed=True)
         a, b = EchoNode("a"), EchoNode("b")
@@ -152,3 +175,21 @@ class TestHashRing:
         ring = HashRing(["n0", "n1", "n2"])
         assert set(ring.nodes()) == {"n0", "n1", "n2"}
         assert len(ring) == 3
+
+    def test_successors_start_at_owner_and_are_distinct(self):
+        ring = HashRing([f"n{i}" for i in range(5)])
+        succ = ring.successors("key", 3)
+        assert succ[0] == ring.owner("key")
+        assert len(succ) == len(set(succ)) == 3
+
+    def test_successors_clamped_to_live_ring(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        assert len(ring.successors("key", 10)) == 3
+        succ = ring.successors("key", 2, excluded={ring.owner("key")})
+        assert ring.owner("key") not in succ
+        assert succ[0] == ring.owner_excluding("key", {ring.owner("key")})
+
+    def test_successors_all_excluded_raises(self):
+        ring = HashRing(["n0"])
+        with pytest.raises(NetworkError):
+            ring.successors("key", 1, excluded={"n0"})

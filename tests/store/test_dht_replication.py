@@ -1,0 +1,216 @@
+"""Successor replication, crash takeover, recovery, and retries (PR 6).
+
+The DHT store with ``replication_factor=k`` writes controller records to
+the next ``k-1`` live ring successors at write time; after
+``fail_host`` the takeover owner serves from its replica, and
+``recover_host`` rejoins the ring and rebalances records back.  The
+request transport retries unanswered protocol messages with stable
+request ids, so drops and duplicates are masked up to the retry budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decisions import ReconcileResult
+from repro.errors import RetryExhaustedError, StoreError
+from repro.model import Insert, make_transaction
+from repro.net import FaultPlan, MessageFault
+from repro.net.faults import FaultInjector
+from repro.policy import TrustPolicy
+from repro.store import DhtUpdateStore
+
+
+ROW_A = ("rat", "prot1", "immune")
+ROW_B = ("mouse", "prot2", "defense")
+
+
+def register_trusting_peers(store, peers=(1, 2, 3), priority=1):
+    for peer in peers:
+        policy = TrustPolicy()
+        for other in peers:
+            if other != peer:
+                policy.trust_participant(other, priority)
+        store.register_participant(peer, policy)
+
+
+def replicated_store(schema, hosts=5, k=2, **options):
+    store = DhtUpdateStore(
+        schema, hosts=hosts, replication_factor=k, **options
+    )
+    register_trusting_peers(store)
+    return store
+
+
+class TestConfiguration:
+    def test_replication_factor_validated(self, schema):
+        with pytest.raises(StoreError):
+            DhtUpdateStore(schema, hosts=3, replication_factor=0)
+        with pytest.raises(StoreError):
+            DhtUpdateStore(schema, hosts=3, max_retries=-1)
+
+    def test_replication_factor_exposed(self, schema):
+        store = DhtUpdateStore(schema, hosts=4, replication_factor=3)
+        assert store.replication_factor == 3
+
+    def test_default_is_unreplicated(self, schema):
+        store = DhtUpdateStore(schema, hosts=4)
+        register_trusting_peers(store)
+        store.publish(1, [make_transaction(1, 0, [Insert("F", ROW_A, 1)])])
+        assert all(
+            not any(role == "txn" for role, _key in host.replicas)
+            for host in store._hosts.values()
+        )
+
+
+class TestSuccessorReplication:
+    def test_txn_records_reach_successors(self, schema):
+        store = replicated_store(schema)
+        txn = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [txn])
+        holders = [
+            name
+            for name, host in store._hosts.items()
+            if txn.tid in host.txns or ("txn", txn.tid) in host.replicas
+        ]
+        assert len(holders) == 2  # primary plus one successor replica
+
+    def test_epoch_records_reach_successors(self, schema):
+        store = replicated_store(schema)
+        epoch = store.publish(1, [make_transaction(1, 0, [Insert("F", ROW_A, 1)])])
+        holders = [
+            name
+            for name, host in store._hosts.items()
+            if epoch in host.epochs or ("epoch", epoch) in host.replicas
+        ]
+        assert len(holders) == 2
+
+    def test_crash_is_masked_end_to_end(self, schema):
+        store = replicated_store(schema)
+        txn = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [txn])
+        # Crash the transaction controller; the successor's replica must
+        # keep the batch protocol whole.
+        store.fail_host(store._owner(f"txn:{txn.tid}"))
+        batch = store.begin_reconciliation(2)
+        assert [r.transaction.tid for r in batch.roots] == [txn.tid]
+        store.complete_reconciliation(
+            2,
+            ReconcileResult(
+                recno=batch.recno, accepted=[txn.tid], applied=[txn.tid]
+            ),
+        )
+        applied, _rejected, _deferred = store.decided_transactions(2)
+        assert [t.tid for t in applied] == [txn.tid]
+
+    def test_unreplicated_crash_loses_the_record(self, schema):
+        store = DhtUpdateStore(schema, hosts=5, replication_factor=1)
+        register_trusting_peers(store)
+        txn = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [txn])
+        store.fail_host(store._owner(f"txn:{txn.tid}"))
+        # k=1 has no replica to serve from: the record degrades to
+        # "unknown" and the batch arrives without it.
+        batch = store.begin_reconciliation(2)
+        assert batch.roots == []
+
+
+class TestRecoverHost:
+    def test_recover_requires_a_failed_host(self, schema):
+        store = replicated_store(schema)
+        with pytest.raises(StoreError):
+            store.recover_host("host:99")
+        with pytest.raises(StoreError):
+            store.recover_host("host:0")  # alive
+
+    def test_ownership_routes_back_after_recovery(self, schema):
+        store = replicated_store(schema)
+        txn = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [txn])
+        primary = store._owner(f"txn:{txn.tid}")
+        store.fail_host(primary)
+        assert store._owner(f"txn:{txn.tid}") != primary
+        store.recover_host(primary)
+        assert store._owner(f"txn:{txn.tid}") == primary
+
+    def test_rebalance_reships_records_to_recovered_host(self, schema):
+        store = replicated_store(schema)
+        txn = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [txn])
+        primary = store._owner(f"txn:{txn.tid}")
+        store.fail_host(primary)  # wipes the primary's state
+        assert txn.tid not in store._hosts[primary].txns
+        store.recover_host(primary)
+        # The crash wiped the host; rebalance must re-ship the record.
+        assert txn.tid in store._hosts[primary].txns
+        batch = store.begin_reconciliation(2)
+        assert [r.transaction.tid for r in batch.roots] == [txn.tid]
+
+    def test_full_cycle_preserves_reconciliation(self, schema):
+        store = replicated_store(schema)
+        t1 = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [t1])
+        victim = store.allocator_host()
+        store.fail_host(victim)
+        store.recover_epoch_allocator(1)
+        t2 = make_transaction(1, 1, [Insert("F", ROW_B, 1)])
+        store.publish(1, [t2])
+        store.recover_host(victim)
+        batch = store.begin_reconciliation(2)
+        assert sorted(str(r.transaction.tid) for r in batch.roots) == [
+            str(t1.tid),
+            str(t2.tid),
+        ]
+
+
+class TestRetryTransport:
+    def plan(self, kind, times=1):
+        return FaultPlan(
+            seed=5, messages=(MessageFault(kind, "drop", times=times),)
+        )
+
+    def test_dropped_reply_is_retried(self, schema):
+        store = replicated_store(schema)
+        store.network.injector = FaultInjector(
+            self.plan("txn_stored", times=2), latency=store.message_latency
+        )
+        txn = make_transaction(1, 0, [Insert("F", ROW_A, 1)])
+        store.publish(1, [txn])
+        assert store.retries >= 1
+        # The store ends up with exactly one copy per holder despite the
+        # duplicate deliveries of store_txn (at-most-once handlers).
+        batch = store.begin_reconciliation(2)
+        assert [r.transaction.tid for r in batch.roots] == [txn.tid]
+
+    def test_duplicated_replies_are_harmless(self, schema):
+        store = replicated_store(schema)
+        store.network.injector = FaultInjector(
+            FaultPlan(
+                seed=5,
+                messages=(MessageFault("epoch_is", "duplicate"),),
+            ),
+            latency=store.message_latency,
+        )
+        epoch = store.publish(1, [make_transaction(1, 0, [Insert("F", ROW_A, 1)])])
+        assert store.publish(1, []) == epoch + 1  # allocator still monotone
+
+    def test_black_hole_exhausts_the_budget(self, schema):
+        store = replicated_store(schema, max_retries=2)
+        store.network.injector = FaultInjector(
+            self.plan("txn_stored", times=None), latency=store.message_latency
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            store.publish(1, [make_transaction(1, 0, [Insert("F", ROW_A, 1)])])
+        # Satellite: the error names the pending request precisely.
+        message = str(excinfo.value)
+        assert "store_txn" in message and "txn_stored" in message
+
+    def test_retry_backoff_charges_latency(self, schema):
+        store = replicated_store(schema)
+        store.network.injector = FaultInjector(
+            self.plan("txn_stored", times=1), latency=store.message_latency
+        )
+        before = store.perf.simulated_seconds
+        store.publish(1, [make_transaction(1, 0, [Insert("F", ROW_A, 1)])])
+        assert store.perf.simulated_seconds > before
+        assert store.retries == 1

@@ -32,6 +32,12 @@ EXPECTED_ALL = {
     "SerialScheduler",
     "ThreadedScheduler",
     "resolve_conflicts",
+    # Fault tolerance (PR 6)
+    "FaultController",
+    "FaultPlan",
+    "HostCrash",
+    "MessageFault",
+    "ParticipantRestart",
     # Stores and the driver registry
     "CentralUpdateStore",
     "DhtUpdateStore",
@@ -76,6 +82,7 @@ EXPECTED_ALL = {
     # Errors
     "ConfigError",
     "ConstraintViolation",
+    "FaultError",
     "FlattenError",
     "NetworkError",
     "PolicyError",
@@ -83,6 +90,7 @@ EXPECTED_ALL = {
     "ReconciliationError",
     "ReproError",
     "ResolutionError",
+    "RetryExhaustedError",
     "SchedulerError",
     "SchemaError",
     "StoreError",
@@ -138,4 +146,8 @@ def test_hook_event_names_are_stable():
         "cache_stats",
         "reconcile",
         "epoch_end",
+        "fault",
+        "retry",
+        "degraded",
+        "recovery",
     )
