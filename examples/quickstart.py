@@ -177,6 +177,24 @@ def main() -> None:
             "(see examples/fault_tolerance.py for the full chaos tour)."
         )
 
+    # 11. The determinism invariants everything above relies on (seeded
+    #     RNG substreams, capability routing, store access under the
+    #     store lock) are machine-checked.  CI gates on
+    #
+    #         PYTHONPATH=src python -m repro.analysis src tests benchmarks examples
+    #
+    #     which runs the repo-specific AST rules (RPR001-RPR008; add
+    #     --list-rules for the catalogue) and exits non-zero on any
+    #     finding.  A genuinely intended exception is waived in place
+    #     with a `# repro: allow[RPRnnn]` comment on the offending line
+    #     (or the line above), keeping the justification visible in
+    #     review.  The same engine is importable:
+    from repro.analysis import run_analysis
+
+    findings = run_analysis([__file__])
+    print(f"repro.analysis on this example: {len(findings)} findings")
+    assert not findings
+
 
 if __name__ == "__main__":
     main()

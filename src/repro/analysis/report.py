@@ -1,0 +1,53 @@
+"""Reporters for analysis findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary tail (ruff-style)."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_code: Dict[str, int] = {}
+        for finding in findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        breakdown = ", ".join(
+            f"{code}×{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(f"{len(findings)} finding(s): {breakdown}")
+    else:
+        lines.append("0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: counts plus the full finding list.
+
+    Shape is stable for CI consumption::
+
+        {"findings": [{code, path, line, column, message}, ...],
+         "counts": {"RPR001": 2, ...}, "total": 3}
+    """
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    payload: Dict[str, object] = {
+        "total": len(findings),
+        "counts": dict(sorted(by_code.items())),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    """Render ``findings`` as ``fmt`` (``"text"`` or ``"json"``)."""
+    if fmt == "json":
+        return render_json(findings)
+    return render_text(findings)
+
+
+__all__: List[str] = ["render", "render_text", "render_json"]

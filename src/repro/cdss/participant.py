@@ -100,7 +100,9 @@ class Participant:
         self._unpublished: List[Transaction] = []
         self._own_delta: List[Update] = []
         if register:
-            store.register_participant(participant_id, policy)
+            # Registration is a store call like any other: through the
+            # transport discipline, under the store lock.
+            self._store_call(store.register_participant, participant_id, policy)
 
     @classmethod
     def rebuild(
@@ -147,8 +149,8 @@ class Participant:
             engine_caching=engine_caching,
             hooks=hooks,
         )
-        applied, rejected, deferred = store.decided_transactions(
-            participant_id
+        (applied, rejected, deferred), _, _ = participant._store_call(
+            store.decided_transactions, participant_id
         )
         buffered: List[Update] = []
         for transaction in applied:
@@ -171,31 +173,50 @@ class Participant:
             participant.instance.apply_set(flatten(store.schema, buffered))
         participant.state.record_rejected(rejected)
 
+        def fetch_closure_locked(roots, applied_set):
+            """Graph entries of the antecedent closure of ``roots``.
+
+            The ``*_locked`` suffix is the transport convention: this
+            helper is only ever executed *through* ``_store_call``, so
+            its store lookups run under the store lock.
+            """
+            closure = antecedent_closure(
+                lambda t: store._nc_lookup(t)[1], roots, stop=applied_set
+            )
+            return [store._nc_lookup(member) for member in closure]
+
         if rejected:
             # Future roots may name rejected transactions as antecedents;
             # the engine then needs their bodies and publish orders from
             # the local graph (the store ships only undecided members).
             applied_set = set(participant.state.applied)
-            closure = antecedent_closure(
-                lambda t: store._nc_lookup(t)[1], rejected, stop=applied_set
+            entries, _, _ = participant._store_call(
+                fetch_closure_locked, rejected, applied_set
             )
-            for member in closure:
-                body, antes, member_order = store._nc_lookup(member)
+            for body, antes, member_order in entries:
                 participant.state.graph.add(body, antes, member_order)
 
         if deferred:
             applied_set = set(participant.state.applied)
-            for tid in deferred:
-                transaction, _antes, order = store._nc_lookup(tid)
+
+            def fetch_deferred_locked(tids):
+                """Each deferred root with its closure's graph entries
+                (executed through ``_store_call``, see above)."""
+                fetched = []
+                for tid in tids:
+                    transaction, _antes, order = store._nc_lookup(tid)
+                    fetched.append(
+                        (transaction, order, fetch_closure_locked([tid], applied_set))
+                    )
+                return fetched
+
+            fetched, _, _ = participant._store_call(fetch_deferred_locked, deferred)
+            for transaction, order, entries in fetched:
                 if transaction.origin == participant_id:  # pragma: no cover
                     participant._sequence = max(
                         participant._sequence, transaction.tid.sequence + 1
                     )
-                closure = antecedent_closure(
-                    lambda t: store._nc_lookup(t)[1], [tid], stop=applied_set
-                )
-                for member in closure:
-                    body, antes, member_order = store._nc_lookup(member)
+                for body, antes, member_order in entries:
                     participant.state.graph.add(body, antes, member_order)
                 participant.state.record_deferred(
                     RelevantTransaction(
@@ -209,8 +230,8 @@ class Participant:
             # deferred set without re-deciding anything — re-evaluation
             # belongs to the next real reconciliation.
             participant.reconciler.rebuild_soft_state()
-        participant.state.last_recno = store.last_reconciliation_epoch(
-            participant_id
+        participant.state.last_recno, _, _ = participant._store_call(
+            store.last_reconciliation_epoch, participant_id
         )
         return participant
 

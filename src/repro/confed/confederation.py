@@ -341,17 +341,23 @@ class Confederation:
         """
         self._ensure_open()
         snapshots = {}
-        for participant in self.participants:
-            applied, rejected, deferred = self.store.decided_transactions(
-                participant.id
-            )
-            snapshots[participant.id] = ParticipantSnapshot(
-                participant=participant.id,
-                applied=tuple(t.tid for t in applied),
-                rejected=tuple(rejected),
-                deferred=tuple(deferred),
-                last_recno=self.store.last_reconciliation_epoch(participant.id),
-            )
+        # Snapshot reads are store access like any other: take the
+        # store lock so a concurrently scheduled epoch cannot interleave
+        # (the lock is reentrant and uncontended outside threaded runs).
+        with self.store.lock:
+            for participant in self.participants:
+                applied, rejected, deferred = self.store.decided_transactions(
+                    participant.id
+                )
+                snapshots[participant.id] = ParticipantSnapshot(
+                    participant=participant.id,
+                    applied=tuple(t.tid for t in applied),
+                    rejected=tuple(rejected),
+                    deferred=tuple(deferred),
+                    last_recno=self.store.last_reconciliation_epoch(
+                        participant.id
+                    ),
+                )
         return snapshots
 
     def restore(

@@ -418,7 +418,7 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
             return []
         total = len(self._policies)
         retired: List[TransactionId] = []
-        for tid in candidates:
+        for tid in sorted(candidates):
             (count,) = self._conn.execute(
                 "SELECT COUNT(DISTINCT participant) FROM decisions"
                 " WHERE ord = ? AND verdict IN ('applied', 'rejected')",

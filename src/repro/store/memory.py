@@ -257,7 +257,7 @@ class MemoryUpdateStore(NetworkCentricMixin, UpdateStore):
         records = self._participants.values()
         return [
             tid
-            for tid in set(result.applied) | set(result.rejected)
+            for tid in sorted(set(result.applied) | set(result.rejected))
             if all(
                 tid in record.applied or tid in record.rejected
                 for record in records

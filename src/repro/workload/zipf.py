@@ -24,7 +24,9 @@ class ZipfSampler:
             raise WorkloadError(f"Zipf characteristic must be positive, got {s}")
         self.n = n
         self.s = s
-        self._rng = rng or random.Random()
+        # Deterministic by default: an OS-seeded fallback RNG would make
+        # two identically configured samplers diverge run to run.
+        self._rng = rng if rng is not None else random.Random(0)
         weights = [rank ** -s for rank in range(1, n + 1)]
         total = sum(weights)
         cumulative: List[float] = []

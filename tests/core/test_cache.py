@@ -323,7 +323,7 @@ class TestEngineIntegration:
             )
             is None
         )
-        r2 = reconciler.reconcile(builder.batch(2, []))
+        reconciler.reconcile(builder.batch(2, []))
         refreshed = reconciler.cache.lookup(
             revision.tid, state.applied_version, state.applied
         )

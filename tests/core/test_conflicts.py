@@ -22,7 +22,7 @@ RAT1_RESP = ("rat", "prot1", "cell-resp")
 MOUSE2 = ("mouse", "prot2", "immune")
 
 
-def extension_of(schema, builder, txn, priority=1, applied=frozenset()):
+def extension_of(schema, builder, txn, priority=1, applied=()):
     root = RelevantTransaction(
         txn, priority=priority, order=builder.graph.order_of(txn.tid)
     )

@@ -84,7 +84,7 @@ class TestResolveConflicts:
             schema
         )
         group = state.open_conflicts()[0]
-        result = resolve_conflicts(
+        resolve_conflicts(
             reconciler,
             [Resolution(group_id=group.group_id, chosen_option=None)],
         )

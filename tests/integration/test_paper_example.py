@@ -93,7 +93,7 @@ class TestFigure2EndToEnd:
         immune = next(
             i for i, opt in enumerate(group.options) if opt.effect == RAT_IMMUNE
         )
-        result = p1.resolve([Resolution(group.group_id, immune)])
+        p1.resolve([Resolution(group.group_id, immune)])
         assert p1.instance.snapshot()["F"] == {
             ("mouse", "prot2"): MOUSE,
             ("rat", "prot1"): RAT_IMMUNE,

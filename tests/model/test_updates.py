@@ -52,7 +52,7 @@ class TestUpdateBasics:
     def test_updates_are_hashable_and_frozen(self):
         ins = Insert("F", RAT1, 3)
         assert hash(ins) == hash(Insert("F", RAT1, 3))
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):  # frozen dataclass
             ins.origin = 4  # type: ignore[misc]
 
 
