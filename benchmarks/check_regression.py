@@ -10,16 +10,26 @@ across CI runners, but both sides of the ratio move with the machine.
 
 The baseline file maps benchmark names to points::
 
-    {"schema_version": 2,
+    {"schema_version": 3,
      "benchmarks": {"engine_reconciliation": {"speedup": ...},
-                    "dht_network_centric": {"speedup": ...}}}
+                    "dht_network_centric": {"speedup": ...,
+                                            "budgets": {
+                                                "message_ratio": 1.8,
+                                                "byte_ratio": 1.5}}}}
 
 (a legacy flat baseline holding a single point with a ``benchmark`` key
 is still understood).  Each fresh file names its benchmark in its
 ``benchmark`` key and is gated against the matching baseline entry.
 
+Schema v3 adds optional per-point ``budgets``: hard ceilings on
+additional fresh metrics (e.g. the network-centric DHT mode's
+store/client message and byte ratios).  Unlike the speedup — a
+machine-relative ratio gated with a tolerance — a budget is absolute:
+the fresh metric must not exceed its ceiling at all.
+
 Exit status 1 when any fresh speedup drops more than ``--threshold``
-(default 20%) below its baseline.
+(default 20%) below its baseline, or any budgeted metric exceeds its
+ceiling.
 
 Usage:
     python benchmarks/check_regression.py BENCH_engine.json \\
@@ -78,14 +88,34 @@ def check_point(fresh: dict, baseline: dict, threshold: float) -> bool:
         f"{baseline_speedup:.2f}x (drop {drop:+.1%}, tolerated "
         f"{threshold:.0%}, floor {floor:.2f}x)"
     )
+    passed = True
     if fresh_speedup < floor:
         print(
             f"REGRESSION in {name}: fresh speedup fell below the tolerated "
             f"floor — either fix the slowdown or update "
             f"benchmarks/BENCH_baseline.json with a justification in the PR."
         )
-        return False
-    return True
+        passed = False
+    for metric, ceiling in sorted(baseline.get("budgets", {}).items()):
+        value = fresh.get(metric)
+        if value is None:
+            print(
+                f"REGRESSION in {name}: fresh point lacks budgeted "
+                f"metric {metric!r} (ceiling {ceiling})"
+            )
+            passed = False
+            continue
+        print(
+            f"{name}: {metric} {float(value):.2f} "
+            f"(budget {float(ceiling):.2f})"
+        )
+        if float(value) > float(ceiling):
+            print(
+                f"REGRESSION in {name}: {metric} {float(value):.2f} "
+                f"exceeds its budget ceiling {float(ceiling):.2f}"
+            )
+            passed = False
+    return passed
 
 
 def main(argv=None) -> int:

@@ -183,7 +183,7 @@ def main() -> None:
     #
     #         PYTHONPATH=src python -m repro.analysis src tests benchmarks examples
     #
-    #     which runs the repo-specific AST rules (RPR001-RPR008; add
+    #     which runs the repo-specific AST rules (RPR001-RPR009; add
     #     --list-rules for the catalogue) and exits non-zero on any
     #     finding.  A genuinely intended exception is waived in place
     #     with a `# repro: allow[RPRnnn]` comment on the offending line
@@ -194,6 +194,44 @@ def main() -> None:
     findings = run_analysis([__file__])
     print(f"repro.analysis on this example: {len(findings)} findings")
     assert not findings
+
+    # 12. Reading the wire metrics: on a simulated-network store,
+    #     report() carries the protocol mix — `kind_counts` (fragments
+    #     delivered per message kind) and `kind_bytes` (that kind's
+    #     share of the delivered bytes).  This is how the Figure-3 byte
+    #     trade is read: client-centric DHT traffic is dominated by
+    #     `txn_data`/`request_txn` (bodies pulled on demand), while the
+    #     store-computed path shifts it into coalesced `nc_data`
+    #     replies, batched `nc_fetch_batch`/`nc_member_batch` verdict
+    #     round-trips, and — across deferral rounds — tiny
+    #     `nc_unchanged` digest tokens in place of re-shipped payloads.
+    #     The PR 8 wire pass (batching + coalescing + delta-encoded
+    #     re-ships) brought that mode from ~2.9x/2.2x down to ≤1.8x
+    #     messages and ≤1.5x bytes over client-computed, pinned in
+    #     benchmarks/test_perf_dht_nc.py.
+    wire_config = ConfederationConfig(
+        store="dht",
+        store_options={"hosts": 3},
+        peers=(1, 2, 3),
+        network_centric="store",
+    )
+    with Confederation.from_config(wire_config, schema=schema) as wired:
+        publisher, receiver, _ = wired.participants
+        publisher.execute(
+            [Insert("F", ("rat", "prot3", "kinase"), publisher.id)]
+        )
+        publisher.publish_and_reconcile()
+        receiver.publish_and_reconcile()
+        wire = wired.report()
+        top = sorted(
+            wire.kind_bytes, key=wire.kind_bytes.get, reverse=True
+        )[:3]
+        for kind in top:
+            print(
+                f"wire: {kind:12s} {wire.kind_counts[kind]:4d} fragments"
+                f" {wire.kind_bytes[kind]:6d} bytes"
+            )
+        assert wire.kind_counts.get("nc_data", 0) >= 1
 
 
 if __name__ == "__main__":

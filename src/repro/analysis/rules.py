@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RPR001``–``RPR008``).
+"""The repo-specific lint rules (``RPR001``–``RPR009``).
 
 Each rule encodes one invariant of the verification spine — the
 properties the store-equivalence matrix and the chaos suite rely on but
@@ -22,6 +22,9 @@ RPR007   No iteration over set expressions feeding ordered output —
          wrap in ``sorted(...)`` so decision-adjacent order is stable.
 RPR008   ``@dataclass`` classes with ``to_dict``/``from_dict`` keep the
          dict keys in exact parity with their fields.
+RPR009   Message kinds passed to ``Network.send`` and handled by
+         ``_on_<kind>`` methods come from the module-level ``KINDS``
+         registry — a typo'd kind silently burns the retry budget.
 =======  ==============================================================
 
 Rules deliberately prefer *precision* over recall: each one flags only
@@ -593,6 +596,106 @@ class DictRoundTripRule(Rule):
         return None
 
 
+class KindsRegistryRule(Rule):
+    """RPR009: message kinds come from the module's KINDS registry."""
+
+    code = "RPR009"
+    name = "message-kind-registry"
+    summary = (
+        "message kinds passed to Network.send and handled by "
+        "_on_<kind> methods must come from the module-level KINDS "
+        "registry — a typo'd kind silently produces an unanswered "
+        "request that burns the whole retry budget"
+    )
+
+    def applies(self, context: ModuleContext) -> bool:
+        return context.realm == "src"
+
+    @staticmethod
+    def _declared_kinds(tree: ast.Module) -> Optional[Set[str]]:
+        """String members of a module-level ``KINDS = frozenset({...})``
+        (or any literal collection), or None when undeclared."""
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == "KINDS":
+                    return {
+                        literal.value
+                        for literal in ast.walk(node.value)
+                        if isinstance(literal, ast.Constant)
+                        and isinstance(literal.value, str)
+                    }
+        return None
+
+    @staticmethod
+    def _send_kind(node: ast.AST) -> Optional[ast.Constant]:
+        """The literal kind of a ``....send(sender, recipient, kind)``
+        call (third positional or ``kind=``), else None."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+        ):
+            return None
+        candidate: Optional[ast.AST] = None
+        if len(node.args) >= 3:
+            candidate = node.args[2]
+        for keyword in node.keywords:
+            if keyword.arg == "kind":
+                candidate = keyword.value
+        if isinstance(candidate, ast.Constant) and isinstance(
+            candidate.value, str
+        ):
+            return candidate
+        return None
+
+    def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        # Engage only for modules that actually speak the wire protocol
+        # (at least one literal-kind send) — hook-bus subscribers also
+        # name methods ``_on_<event>`` and must not be swept in.
+        sends = [
+            kind_node
+            for node in ast.walk(tree)
+            if (kind_node := self._send_kind(node)) is not None
+        ]
+        if not sends:
+            return
+        declared = self._declared_kinds(tree)
+        if declared is None:
+            for kind_node in sends:
+                yield super().finding(
+                    context,
+                    kind_node,
+                    f"message kind {kind_node.value!r} is sent but the "
+                    f"module declares no KINDS registry to check it "
+                    f"against",
+                )
+            return
+        for kind_node in sends:
+            if kind_node.value not in declared:
+                yield super().finding(
+                    context,
+                    kind_node,
+                    f"message kind {kind_node.value!r} is not in the "
+                    f"module's KINDS registry — a typo here burns the "
+                    f"whole retry budget before surfacing",
+                )
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name.startswith("_on_")
+                and node.name[4:]
+                and node.name[4:] not in declared
+            ):
+                yield super().finding(
+                    context,
+                    node,
+                    f"handler {node.name}() matches no kind in the "
+                    f"module's KINDS registry — it can never be "
+                    f"dispatched",
+                )
+
+
 def default_rules() -> List[Rule]:
     """One instance of every shipped rule, in code order."""
     return [
@@ -604,6 +707,7 @@ def default_rules() -> List[Rule]:
         MemoMutationRule(),
         SetIterationRule(),
         DictRoundTripRule(),
+        KindsRegistryRule(),
     ]
 
 

@@ -432,6 +432,7 @@ class Confederation:
         """Metrics of the run so far, gathered from the hook bus."""
         self._ensure_open()
         timings = self._timing.timings
+        network = getattr(self.store, "network", None)
         return ConfederationReport(
             config=self.config,
             state_ratio=self.state_ratio(relation=relation),
@@ -445,6 +446,10 @@ class Confederation:
             # must not mutate when the confederation keeps running.
             cache_stats=self._cache_stats.total.snapshot(),
             faults=self._fault_collector.snapshot(),
+            kind_counts=dict(
+                getattr(network, "kind_counts", None) or {}
+            ),
+            kind_bytes=dict(getattr(network, "kind_bytes", None) or {}),
         )
 
     # ------------------------------------------------------------------

@@ -38,6 +38,13 @@ class ConfederationReport:
     #: retries, degraded fallbacks, recoveries.  All zero on a
     #: fault-free run (the default).
     faults: FaultSummary = field(default_factory=FaultSummary)
+    #: Wire-protocol mix, from the store's simulated network when it
+    #: has one (empty for in-process stores): fragments delivered per
+    #: message kind, and that kind's share of the delivered bytes.
+    #: Together they show *where* a mode's traffic goes — e.g. the
+    #: Figure-3 byte trade of the network-centric DHT path.
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    kind_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_total_seconds_per_participant(self) -> float:

@@ -36,6 +36,7 @@ accounted — a second time; copies are never re-intercepted), or
 from __future__ import annotations
 
 import abc
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
@@ -116,9 +117,14 @@ class Network:
         #: Fragments delivered per message kind — the protocol mix.
         #: Tests and benchmarks read this to show *where* a mode's
         #: traffic goes (e.g. the fully network-centric batch trades
-        #: ``txn_data`` deliveries for ``nc_fetch``/``nc_member``
-        #: verdict chatter) without parsing transcripts.
+        #: ``txn_data`` deliveries for ``nc_fetch_batch`` verdict
+        #: chatter) without parsing transcripts.
         self.kind_counts: Dict[str, int] = {}
+        #: Wire bytes delivered per message kind, next to
+        #: :attr:`kind_counts`: the per-kind share of
+        #: :attr:`bytes_delivered`, so each protocol layer's byte cost
+        #: (and saving) is pinned independently.
+        self.kind_bytes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -165,13 +171,36 @@ class Network:
         sender: str,
         recipient: str,
         kind: str,
-        _fragments: int = 1,
-        _size_bytes: int = 0,
+        fragments: int = 1,
+        size_bytes: int = 0,
         **payload: Any,
     ) -> None:
-        """Convenience wrapper around :meth:`post`."""
+        """Convenience wrapper around :meth:`post`.
+
+        ``fragments`` and ``size_bytes`` are the public sizing contract
+        (see :class:`Message`).  The historical underscore-prefixed
+        spellings ``_fragments``/``_size_bytes`` are still accepted as
+        deprecated aliases; protocol payload keys must not collide with
+        either spelling.
+        """
+        if "_fragments" in payload:
+            warnings.warn(
+                "Network.send(_fragments=...) is deprecated; "
+                "use fragments=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            fragments = payload.pop("_fragments")
+        if "_size_bytes" in payload:
+            warnings.warn(
+                "Network.send(_size_bytes=...) is deprecated; "
+                "use size_bytes=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            size_bytes = payload.pop("_size_bytes")
         self.post(
-            Message(sender, recipient, kind, payload, _fragments, _size_bytes)
+            Message(sender, recipient, kind, payload, fragments, size_bytes)
         )
 
     def run(self, max_messages: int = 1_000_000) -> int:
@@ -225,6 +254,9 @@ class Network:
             )
             self.kind_counts[message.kind] = (
                 self.kind_counts.get(message.kind, 0) + message.fragments
+            )
+            self.kind_bytes[message.kind] = (
+                self.kind_bytes.get(message.kind, 0) + message.wire_bytes()
             )
             self.node(message.recipient).handle(self, message)
         return delivered

@@ -63,27 +63,44 @@ extension and the driver drops the pairs it participates in.
 ``ship_context_free=False`` restores the paper's client-compute-only
 behaviour (and honestly downgrades the instance's capability flags).
 
-Fully network-centric batches (PR 5)
-------------------------------------
+Fully network-centric batches (PR 5, wire protocol PR 8)
+--------------------------------------------------------
 
 ``begin_network_reconciliation`` closes the last quadrant of Figure 3:
 a *distributed* store whose batches arrive fully assembled.  Transaction
 controllers already learn every participant's verdicts about their
-transactions through the ``record_decision`` feedback; a ``nc_request``
-makes the root's controller derive that participant's update extension
-*against its applied set*, walking the antecedent closure with
-per-member verdict queries (``nc_fetch``/``nc_member`` — the verdict
-must be refetched every round, the body only until this controller has
-cached it).  The finished extension and any bodies the participant
-lacks return as one sized ``nc_data`` message; the driver — standing in
-for the peer coordinator, as it already does for antecedent lookups —
-runs the shared pairwise conflict assembly and prices the adjacency as
-a final ``nc_adjacency`` message.  Controllers memoize the derived
-extension per (participant, applied-version), so the repeated-deferral
-rounds the paper worries about are re-ships, not re-derivations; a
-final verdict retires the memo entry.  The client then runs only
-``CheckState``, ``DoGroup``, and application — decisions stay
-byte-identical to every other path on the equivalence matrix.
+transactions through the ``record_decision`` feedback; the reconciling
+peer's driver groups its candidate roots by owning controller and sends
+each controller one ``nc_request`` carrying all of them.  The
+controller derives each root's update extension *against that
+participant's applied set*, walking the antecedent closure with
+*batched* verdict queries: all unresolved members owned by another
+controller are collected and asked in one
+``nc_fetch_batch``/``nc_member_batch`` round trip per member controller
+(the per-participant verdict must be refetched every round — the
+mode's honest extra chatter — while bodies ride along only until this
+controller has cached them).  The finished extensions and any bodies
+the participant lacks return *coalesced*, as one sized ``nc_data``
+message per (controller, participant); the driver — standing in for
+the peer coordinator, as it already does for antecedent lookups — runs
+the pairwise conflict assembly and prices the adjacency as a final
+``nc_adjacency`` message.  Controllers memoize the derived extension
+per (participant, applied-version) together with a stable content
+digest, so the repeated-deferral rounds the paper worries about are
+*delta-encoded*: when the client proves (by echoing the digest) that it
+still retains the previous round's assembled payload, the controller
+answers with a tiny ``nc_unchanged`` token instead of re-shipping
+bodies — O(delta) re-delivery cost, not O(state) — with a full-payload
+fallback when the client no longer holds it.  The comparison is by
+*content*, not version: when the applied set moved, the controller
+re-derives and still answers with the token whenever the fresh digest
+matches the echo (the root's closure was disjoint from whatever was
+newly applied — the common case).  First deliveries are cheap too: the
+derived extension travels dictionary-encoded against the member bodies
+in the same reply, so only genuinely composed operations pay full
+update bytes.  A final verdict retires the memo entry.  The client then runs only ``CheckState``,
+``DoGroup``, and application — decisions stay byte-identical to every
+other path on the equivalence matrix.
 
 Fault tolerance (PR 6)
 ----------------------
@@ -118,6 +135,7 @@ Three mechanisms close Section 5.2.2's failure sketch:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -134,7 +152,12 @@ from repro.errors import FlattenError, RetryExhaustedError, StoreError
 from repro.model.schema import Schema
 from repro.model.transactions import Transaction, TransactionId
 from repro.net.ring import HashRing
-from repro.net.simnet import Message, Network, Node
+from repro.net.simnet import (
+    DEFAULT_FRAGMENT_BYTES,
+    Message,
+    Network,
+    Node,
+)
 from repro.policy.acceptance import TrustPolicy
 from repro.store.base import DEFAULT_MESSAGE_LATENCY, UpdateStore
 from repro.store.network_centric import (
@@ -182,6 +205,130 @@ def _extension_fragments(extension: UpdateExtension) -> int:
 def _extension_bytes(extension: UpdateExtension) -> int:
     """Estimated wire size of a derived context-free extension."""
     return _HEADER_WIRE_BYTES + _UPDATE_WIRE_BYTES * len(extension.operations)
+
+
+#: Wire bytes of a transaction id riding in a batched request or reply
+#: entry, and of a content digest (a truncated hash on a real wire);
+#: these price the tiny batched/delta messages byte-accurately instead
+#: of charging a whole default fragment per entry.
+_TID_WIRE_BYTES = 16
+_DIGEST_WIRE_BYTES = 16
+
+#: A flattened extension operation that is byte-identical to an update
+#: inside a member body the client holds (shipped in the same coalesced
+#: reply, or delivered in an earlier round) is dictionary-encoded as a
+#: (member, update-index) reference instead of travelling in full —
+#: the client materialises it by copying, no re-flattening involved.
+_OP_REF_WIRE_BYTES = 8
+_OP_REFS_PER_FRAGMENT = DEFAULT_FRAGMENT_BYTES // _OP_REF_WIRE_BYTES
+
+
+def _encoded_extension_cost(
+    extension: UpdateExtension, member_updates: Set[str]
+) -> Tuple[int, int]:
+    """(fragments, bytes) of a derived extension dictionary-encoded
+    against the member bodies the client holds.
+
+    Only *composed* operations — nets of several raw updates, which the
+    flattening merged and therefore appear in no body verbatim — pay
+    full update bytes; everything else rides as a tiny reference.
+    """
+    verbatim = sum(
+        1
+        for operation in extension.operations
+        if repr(operation) in member_updates
+    )
+    composed = len(extension.operations) - verbatim
+    size = (
+        _HEADER_WIRE_BYTES
+        + _UPDATE_WIRE_BYTES * composed
+        + _OP_REF_WIRE_BYTES * verbatim
+    )
+    fragments = max(
+        1, composed + -(-verbatim // _OP_REFS_PER_FRAGMENT)
+    )
+    return fragments, size
+
+
+def _extension_digest(extension: UpdateExtension) -> str:
+    """A stable content digest of a derived extension.
+
+    This is the ``nc_unchanged`` token: the client echoes it to prove
+    the assembled payload it retained is byte-for-byte the one the
+    controller memoized, and the controller answers with the digest
+    alone instead of re-shipping bodies.  Built from printable content
+    only — never object identities — so it is deterministic across
+    processes and restarts.
+    """
+    content = repr(
+        (
+            str(extension.root),
+            extension.priority,
+            tuple(str(member) for member in extension.members),
+            tuple(repr(operation) for operation in extension.operations),
+        )
+    )
+    return hashlib.sha1(content.encode("utf-8")).hexdigest()
+
+
+#: Every message kind this module puts on the wire or handles — the
+#: registry RPR009 checks ``Network.send`` literals and ``_on_<kind>``
+#: handlers against.  A typo'd kind would otherwise fail silently as an
+#: unanswered request that burns the whole retry budget.
+KINDS = frozenset(
+    {
+        # replication and recovery
+        "replicate",
+        "rebalance",
+        # registration
+        "register_policy",
+        "policy_registered",
+        # epoch allocation and publication
+        "request_epoch",
+        "begin_epoch",
+        "epoch_begun",
+        "begin_publishing",
+        "get_current_epoch",
+        "current_epoch",
+        "poll_max_epoch",
+        "max_epoch",
+        "set_epoch_counter",
+        "epoch_counter_set",
+        "publish_ids",
+        "epoch_finished",
+        "get_epoch_contents",
+        "epoch_contents",
+        "lookup_producer",
+        "producer_is",
+        "register_producer",
+        "producer_registered",
+        "store_txn",
+        "txn_stored",
+        # context-free derivation at publish time
+        "cf_fetch",
+        "cf_data",
+        "cf_unknown",
+        # client-centric retrieval (Figure 7)
+        "request_txn",
+        "txn_data",
+        "txn_irrelevant",
+        "txn_unknown",
+        # fully network-centric batches
+        "nc_request",
+        "nc_fetch_batch",
+        "nc_member_batch",
+        "nc_data",
+        "nc_unchanged",
+        "nc_adjacency",
+        # decision and reconciliation records
+        "record_decision",
+        "decision_recorded",
+        "record_recon",
+        "recon_recorded",
+        "get_last_recon",
+        "last_recon",
+    }
+)
 
 
 class _RingView:
@@ -253,14 +400,19 @@ class _HostNode(Node):
         # e.g. an old antecedent reappearing in a new chain — only need a
         # small header, not the payload.
         self.delivered: Set[Tuple[int, TransactionId]] = set()
-        # Fully network-centric mode (PR 5): in-flight per-participant
-        # extension derivations, and the (participant, tid) ->
-        # (applied-version, extension) memo that makes repeated deferral
-        # rounds O(1) re-ships instead of re-derivations.  Entries leave
-        # when the participant's final verdict arrives (record_decision).
-        self.nc_derivations: Dict[str, Dict[str, Any]] = {}
+        # Fully network-centric mode (PR 5, batched wire protocol PR 8):
+        # in-flight per-(participant, token) batches of extension
+        # derivations, the tokens already accepted (so an injected
+        # duplicate ``nc_request`` cannot restart a batch), and the
+        # (participant, tid) -> (applied-version, extension, digest)
+        # memo that makes repeated deferral rounds O(1) — a digest-token
+        # re-ship when the client retains the payload, a full re-ship
+        # otherwise, never a re-derivation.  Entries leave when the
+        # participant's final verdict arrives (record_decision).
+        self.nc_batches: Dict[str, Dict[str, Any]] = {}
+        self.nc_served: Set[str] = set()
         self.nc_memo: Dict[
-            Tuple[int, TransactionId], Tuple[int, UpdateExtension]
+            Tuple[int, TransactionId], Tuple[int, UpdateExtension, str]
         ] = {}
         # Successor replication (PR 6): how many copies of each record
         # the ring keeps (1 = primary only), and the replicas this host
@@ -291,7 +443,8 @@ class _HostNode(Node):
         self.policies.clear()
         self.served.clear()
         self.delivered.clear()
-        self.nc_derivations.clear()
+        self.nc_batches.clear()
+        self.nc_served.clear()
         self.nc_memo.clear()
         self.replicas.clear()
         self.last_alloc.clear()
@@ -366,8 +519,8 @@ class _HostNode(Node):
                 self.name,
                 target,
                 "replicate",
-                _fragments=fragments,
-                _size_bytes=size_bytes,
+                fragments=fragments,
+                size_bytes=size_bytes,
                 role=role,
                 key=key,
                 state=state,
@@ -471,8 +624,8 @@ class _HostNode(Node):
                     self.name,
                     target,
                     "replicate",
-                    _fragments=fragments,
-                    _size_bytes=size_bytes,
+                    fragments=fragments,
+                    size_bytes=size_bytes,
                     role=role,
                     key=key,
                     state=state,
@@ -895,8 +1048,8 @@ class _HostNode(Node):
             self.name,
             payload["reply_to"],
             "cf_data",
-            _fragments=_payload_fragments(transaction),
-            _size_bytes=_body_bytes(transaction),
+            fragments=_payload_fragments(transaction),
+            size_bytes=_body_bytes(transaction),
             tid=tid,
             transaction=transaction,
             antecedents=record["antecedents"],
@@ -954,300 +1107,419 @@ class _HostNode(Node):
         except FlattenError:
             record["context_free"] = None
 
-    # -- fully network-centric batches (PR 5) ---------------------------
+    # -- fully network-centric batches (PR 5, batched wire PR 8) --------
     #
     # ``begin_network_reconciliation`` over the ring: the reconciling
-    # peer's driver sends one ``nc_request`` per candidate root to the
-    # root's transaction controller.  The controller derives the root's
-    # update extension *against that participant's applied set*: it walks
-    # the antecedent closure, asking each member's controller for the
-    # participant's verdict on that member (``nc_fetch``/``nc_member`` —
-    # bodies ride along, priced in fragments and bytes, only when this
-    # controller has not cached them from an earlier derivation; the
-    # verdict itself must always be refetched, which is the mode's honest
-    # extra chatter).  The finished extension, the root body, and any
-    # member bodies the participant has not yet received ship back as one
-    # ``nc_data`` message.  Controllers learn the per-participant
-    # applied/rejected verdicts from the ``record_decision`` feedback the
-    # driver already routes to them after every reconciliation.
+    # peer's driver groups its candidate roots by owning controller and
+    # sends each controller one ``nc_request`` carrying all of them.
+    # The controller derives each root's update extension *against that
+    # participant's applied set*.  The closure walk is batched: bodies
+    # cached from earlier derivations (``cf_bodies``) make the closure
+    # structure locally known, so the walk expands through them
+    # speculatively and collects every unresolved member, then asks each
+    # member's controller with one ``nc_fetch_batch`` per (controller,
+    # round) — the per-participant verdict must be refetched every
+    # round, which is the mode's honest extra chatter, while bodies ride
+    # along in the ``nc_member_batch`` reply only until this controller
+    # has cached them.  Finished roots coalesce into one sized
+    # ``nc_data`` reply per (controller, participant) carrying all
+    # extensions and any bodies the participant lacks; roots whose
+    # extension — memoized or freshly re-derived — is content-identical
+    # to the payload the client retains (it echoed the matching digest)
+    # answer inside a tiny ``nc_unchanged`` token message instead — the
+    # delta-encoded re-ship, O(delta) not O(state).  Controllers learn the
+    # per-participant applied/rejected verdicts from the
+    # ``record_decision`` feedback the driver already routes to them
+    # after every reconciliation.
 
     def _on_nc_request(self, network: Network, message: Message) -> None:
-        """Serve one root of a fully network-centric batch."""
+        """Open one participant's batch of candidate roots."""
         payload = message.payload
-        tid: TransactionId = payload["tid"]
+        token: str = payload["token"]
+        if token in self.nc_batches or token in self.nc_served:
+            return  # an injected duplicate of a batch already accepted
+        self.nc_served.add(token)
         participant: int = payload["participant"]
-        record = self._txn_record(network, tid)
-        if record is None:
-            # Same reply a client-centric request_txn gets for a lost
-            # record; the driver ignores it either way, so the root
-            # drops out of the batch identically in both modes.
-            network.send(self.name, payload["client"], "txn_unknown", tid=tid)
-            return
-        verdict = record["decisions"].get(participant)
-        priority = 0
-        policy = self.policies.get(participant)
-        if policy is not None:
-            priority = policy.priority_of(self._schema, record["transaction"])
-        if verdict in ("applied", "rejected") or priority <= 0:
-            network.send(
-                self.name, payload["client"], "nc_irrelevant", tid=tid
-            )
-            return
         version: int = payload["version"]
-        memo = self.nc_memo.get((participant, tid))
-        if (
-            memo is not None
-            and memo[0] == version
-            and memo[1].priority == priority
-            and self._nc_ship_from_memo(
-                network, payload, record, memo[1], priority
-            )
-        ):
-            return
-        dkey = f"{payload['token']}:{tid}"
-        derivation: Dict[str, Any] = {
-            "tid": tid,
+        batch: Dict[str, Any] = {
+            "client": payload["client"],
             "participant": participant,
             "version": version,
-            "priority": priority,
-            "client": payload["client"],
-            "bodies": {
-                tid: (record["transaction"], record["antecedents"],
-                      record["order"])
-            },
-            "applied": set(),
-            "pending": set(),
-            "failed": False,
+            # Per-root derivation state, and the roots still walking.
+            "roots": {},
+            "open": set(),
+            # Coalesced reply under construction: per-root entries, the
+            # provably-unchanged digests, and the accumulated pricing.
+            "entries": {},
+            "unchanged": {},
+            "fragments": 0,
+            "size": _HEADER_WIRE_BYTES,
+            # Member verdicts resolved this round (shared across the
+            # batch's roots — one wire query per member per round), the
+            # members already queried, the frontier still to query, and
+            # which roots wait on which member.
+            "resolved": {},
+            "asked": set(),
+            "to_ask": set(),
+            "waiters": {},
         }
-        self.nc_derivations[dkey] = derivation
-        self._nc_walk(network, derivation, dkey, record["antecedents"])
-        if not derivation["pending"]:
-            self._finish_nc_derivation(network, dkey)
+        self.nc_batches[token] = batch
+        for entry in payload["roots"]:
+            tid: TransactionId = entry["tid"]
+            record = self._txn_record(network, tid)
+            if record is None:
+                # Same terminal answer a client-centric request_txn gets
+                # for a lost record: the root drops out of the batch
+                # identically in both modes.
+                batch["entries"][tid] = {"tid": tid, "status": "unknown"}
+                continue
+            verdict = record["decisions"].get(participant)
+            priority = 0
+            policy = self.policies.get(participant)
+            if policy is not None:
+                priority = policy.priority_of(
+                    self._schema, record["transaction"]
+                )
+            if verdict in ("applied", "rejected") or priority <= 0:
+                batch["entries"][tid] = {"tid": tid, "status": "irrelevant"}
+                continue
+            memo = self.nc_memo.get((participant, tid))
+            if (
+                memo is not None
+                and memo[0] == version
+                and memo[1].priority == priority
+            ):
+                if entry.get("digest") == memo[2]:
+                    # The client proved it retains the identical
+                    # assembled payload: the digest token alone answers
+                    # this root (the delta-encoded re-ship).
+                    batch["unchanged"][tid] = memo[2]
+                    continue
+                if self._nc_stage_from_memo(
+                    batch, record, priority, memo[1], memo[2]
+                ):
+                    continue
+            rstate: Dict[str, Any] = {
+                "tid": tid,
+                "record": record,
+                "priority": priority,
+                # The digest of the payload the client retains, if any:
+                # a stale-version re-derivation that lands on the same
+                # content still answers with a token, not bodies.
+                "want_digest": entry.get("digest"),
+                "bodies": {
+                    tid: (record["transaction"], record["antecedents"],
+                          record["order"])
+                },
+                "applied": set(),
+                "waiting": set(),
+            }
+            batch["roots"][tid] = rstate
+            batch["open"].add(tid)
+            self._nc_expand(batch, rstate, record["antecedents"])
+        self._nc_pump(network, token)
 
-    def _nc_ship_from_memo(
-        self, network, payload, record, extension, priority
-    ) -> bool:
-        """Re-ship a memoized extension; False when a member body has
-        been lost locally (forces a fresh derivation)."""
-        bodies = {}
-        for member in extension.members:
-            body = self._cf_local_body(member)
-            if body is None:  # pragma: no cover - bodies cache is unbounded
-                return False
-            bodies[member] = body
-        self._nc_send_data(
-            network,
-            client=payload["client"],
-            participant=payload["participant"],
-            record=record,
-            priority=priority,
-            extension=extension,
-            bodies=bodies,
-        )
-        return True
-
-    def _nc_walk(
-        self, network: Network, derivation: Dict[str, Any], dkey: str, tids
+    def _nc_expand(
+        self, batch: Dict[str, Any], rstate: Dict[str, Any], tids
     ) -> None:
-        """Advance the closure walk: absorb members whose verdict this
-        controller holds (its own transactions), ask other controllers
-        for the rest."""
-        participant = derivation["participant"]
+        """Advance one root's closure walk as far as local knowledge
+        allows: absorb members whose verdict this controller holds (its
+        own transactions) or that another root of this batch already
+        resolved, expand *structurally* through the ``cf_bodies`` cache
+        even before the member's verdict is back (the verdict only
+        decides where flattening stops — fetching it is exactly what the
+        batched query is for), and queue everything unresolved for the
+        next ``nc_fetch_batch`` round."""
+        participant = batch["participant"]
         worklist = list(tids)
         while worklist:
             tid = worklist.pop()
             if (
-                tid in derivation["bodies"]
-                or tid in derivation["applied"]
-                or tid in derivation["pending"]
+                tid in rstate["bodies"]
+                or tid in rstate["applied"]
+                or tid in rstate["waiting"]
             ):
                 continue
-            record = self.txns.get(tid)
-            if record is not None:
-                # Our own transaction: verdict and body are local.
-                if record["decisions"].get(participant) == "applied":
-                    derivation["applied"].add(tid)
-                    continue
-                derivation["bodies"][tid] = (
-                    record["transaction"], record["antecedents"],
-                    record["order"],
-                )
-                worklist.extend(record["antecedents"])
+            resolution = batch["resolved"].get(tid)
+            if resolution is None:
+                record = self.txns.get(tid)
+                if record is not None:
+                    # Our own transaction: verdict and body are local.
+                    if record["decisions"].get(participant) == "applied":
+                        resolution = ("applied", None)
+                    else:
+                        resolution = (
+                            "body",
+                            (record["transaction"], record["antecedents"],
+                             record["order"]),
+                        )
+                    batch["resolved"][tid] = resolution
+            if resolution is None:
+                # Remote member: its controller owes us the verdict
+                # (and the body, unless cached).  Walk the known
+                # structure now so the whole frontier lands in one
+                # query round.
+                rstate["waiting"].add(tid)
+                batch["waiters"].setdefault(tid, set()).add(rstate["tid"])
+                batch["to_ask"].add(tid)
+                body = self.cf_bodies.get(tid)
+                if body is not None:
+                    rstate["bodies"][tid] = body
+                    worklist.extend(body[1])
                 continue
-            derivation["pending"].add(tid)
-            network.send(
-                self.name,
-                self.ring.owner(f"txn:{tid}"),
-                "nc_fetch",
-                tid=tid,
-                participant=participant,
-                token=dkey,
-                reply_to=self.name,
-                need_body=tid not in self.cf_bodies,
-            )
+            kind, body = resolution
+            if kind == "applied":
+                rstate["applied"].add(tid)
+            elif kind == "body":
+                rstate["bodies"][tid] = body
+                worklist.extend(body[1])
+            # An "unknown" member leaves a hole; _nc_finish_root fails
+            # the root only if the hole is actually reachable.
 
-    def _on_nc_fetch(self, network: Network, message: Message) -> None:
-        """Answer a member query: the participant's verdict, plus the
-        body when the asking controller does not hold it yet."""
+    def _nc_pump(self, network: Network, token: str) -> None:
+        """Finish roots whose walk completed, flush the batched member
+        queries, and ship the coalesced replies once nothing is open."""
+        batch = self.nc_batches.get(token)
+        if batch is None:
+            return
+        for tid in sorted(batch["open"]):
+            if not batch["roots"][tid]["waiting"]:
+                batch["open"].discard(tid)
+                self._nc_finish_root(batch, tid)
+        queries: Dict[str, List[TransactionId]] = {}
+        for tid in sorted(batch["to_ask"]):
+            if tid in batch["asked"]:
+                continue
+            batch["asked"].add(tid)
+            queries.setdefault(
+                self.ring.owner(f"txn:{tid}"), []
+            ).append(tid)
+        batch["to_ask"] = set()
+        for controller in sorted(queries):
+            members = queries[controller]
+            network.send(
+                self.name,
+                controller,
+                "nc_fetch_batch",
+                size_bytes=(
+                    _HEADER_WIRE_BYTES + len(members) * _TID_WIRE_BYTES
+                ),
+                token=token,
+                participant=batch["participant"],
+                reply_to=self.name,
+                members=[
+                    {"tid": tid, "need_body": tid not in self.cf_bodies}
+                    for tid in members
+                ],
+            )
+        if not batch["open"]:
+            self._nc_flush_batch(network, token)
+
+    def _on_nc_fetch_batch(self, network: Network, message: Message) -> None:
+        """Answer a batched member query: the participant's verdict for
+        every member this controller owns, plus the bodies the asking
+        controller does not hold yet — one reply per (controller,
+        controller, round) instead of one per member."""
         payload = message.payload
-        tid: TransactionId = payload["tid"]
-        record = self._txn_record(network, tid)
-        if record is None:
-            network.send(
-                self.name,
-                payload["reply_to"],
-                "nc_unknown_member",
-                tid=tid,
-                token=payload["token"],
+        participant: int = payload["participant"]
+        entries: List[Dict[str, Any]] = []
+        fragments = 0
+        size = _HEADER_WIRE_BYTES
+        for member in payload["members"]:
+            tid: TransactionId = member["tid"]
+            size += _TID_WIRE_BYTES
+            record = self._txn_record(network, tid)
+            if record is None:
+                entries.append({"tid": tid, "status": "unknown"})
+                continue
+            applied = (
+                record["decisions"].get(participant) == "applied"
             )
-            return
-        applied = (
-            record["decisions"].get(payload["participant"]) == "applied"
-        )
-        if applied or not payload["need_body"]:
-            network.send(
-                self.name,
-                payload["reply_to"],
-                "nc_member",
-                tid=tid,
-                token=payload["token"],
-                applied=applied,
-                transaction=None,
-                antecedents=record["antecedents"],
-                order=record["order"],
+            transaction = None
+            if not applied and member["need_body"]:
+                transaction = record["transaction"]
+                fragments += _payload_fragments(transaction)
+                size += _body_bytes(transaction)
+            entries.append(
+                {
+                    "tid": tid,
+                    "status": "member",
+                    "applied": applied,
+                    "transaction": transaction,
+                    "antecedents": record["antecedents"],
+                    "order": record["order"],
+                }
             )
-            return
-        transaction = record["transaction"]
         network.send(
             self.name,
             payload["reply_to"],
-            "nc_member",
-            _fragments=_payload_fragments(transaction),
-            _size_bytes=_body_bytes(transaction),
-            tid=tid,
+            "nc_member_batch",
+            fragments=max(1, fragments),
+            size_bytes=size,
             token=payload["token"],
-            applied=False,
-            transaction=transaction,
-            antecedents=record["antecedents"],
-            order=record["order"],
+            entries=entries,
         )
 
-    def _on_nc_member(self, network: Network, message: Message) -> None:
+    def _on_nc_member_batch(self, network: Network, message: Message) -> None:
         payload = message.payload
-        derivation = self.nc_derivations.get(payload["token"])
-        if derivation is None:
-            return
-        tid: TransactionId = payload["tid"]
-        derivation["pending"].discard(tid)
-        if derivation["failed"]:
-            if not derivation["pending"]:
-                self._finish_nc_derivation(network, payload["token"])
-            return
-        if payload["applied"]:
-            derivation["applied"].add(tid)
-        else:
-            if payload["transaction"] is not None:
-                body = (
-                    payload["transaction"],
-                    payload["antecedents"],
-                    payload["order"],
-                )
-                self.cf_bodies.setdefault(tid, body)
+        batch = self.nc_batches.get(payload["token"])
+        if batch is None:
+            return  # stale traffic for a finished or abandoned batch
+        for entry in payload["entries"]:
+            tid: TransactionId = entry["tid"]
+            if tid in batch["resolved"]:
+                continue  # an injected duplicate reply
+            if entry["status"] == "unknown":
+                resolution = ("unknown", None)
+            elif entry["applied"]:
+                resolution = ("applied", None)
             else:
-                body = self.cf_bodies.get(tid)
-            if body is None:  # pragma: no cover - protocol guarantee
-                derivation["failed"] = True
-            else:
-                derivation["bodies"][tid] = body
-                self._nc_walk(
-                    network, derivation, payload["token"], body[1]
-                )
-        if not derivation["pending"]:
-            self._finish_nc_derivation(network, payload["token"])
+                if entry["transaction"] is not None:
+                    body = (
+                        entry["transaction"],
+                        entry["antecedents"],
+                        entry["order"],
+                    )
+                    self.cf_bodies.setdefault(tid, body)
+                else:
+                    body = self.cf_bodies.get(tid)
+                if body is None:  # pragma: no cover - protocol guarantee
+                    resolution = ("unknown", None)
+                else:
+                    resolution = ("body", body)
+            batch["resolved"][tid] = resolution
+            for root_tid in sorted(batch["waiters"].pop(tid, ())):
+                rstate = batch["roots"][root_tid]
+                rstate["waiting"].discard(tid)
+                kind, body = resolution
+                if kind == "applied":
+                    rstate["applied"].add(tid)
+                elif kind == "body":
+                    # The speculative walk may already hold this body
+                    # from cf_bodies; absorbing it again is a no-op.
+                    had = tid in rstate["bodies"]
+                    rstate["bodies"][tid] = body
+                    if not had:
+                        self._nc_expand(batch, rstate, body[1])
+                else:
+                    rstate["bodies"].pop(tid, None)
+        self._nc_pump(network, payload["token"])
 
-    def _on_nc_unknown_member(self, network: Network, message: Message) -> None:
-        """Part of the closure is gone: the derivation cannot finish;
-        the driver falls back to the classic Figure-7 retrieval for this
-        root and the client computes locally."""
-        derivation = self.nc_derivations.get(message.payload["token"])
-        if derivation is None:
-            return
-        derivation["failed"] = True
-        derivation["pending"].discard(message.payload["tid"])
-        if not derivation["pending"]:
-            self._finish_nc_derivation(network, message.payload["token"])
-
-    def _finish_nc_derivation(self, network: Network, dkey: str) -> None:
-        derivation = self.nc_derivations.pop(dkey)
-        tid: TransactionId = derivation["tid"]
-        record = self.txns[tid]
-        if derivation["failed"]:
-            network.send(
-                self.name,
-                derivation["client"],
-                "nc_data",
-                tid=tid,
-                failed=True,
-                extension=None,
-            )
+    def _nc_finish_root(
+        self, batch: Dict[str, Any], root_tid: TransactionId
+    ) -> None:
+        """Derive and stage one finished root of the batch."""
+        rstate = batch["roots"].pop(root_tid)
+        record = rstate["record"]
+        # The precise closure: reachable from the root through the
+        # gathered bodies, stopping at the participant's applied
+        # transactions.  The speculative cf_bodies expansion may have
+        # walked past an applied stop; anything beyond it is neither
+        # shipped nor required to have resolved.
+        needed: Dict[
+            TransactionId, Tuple[Transaction, Tuple[TransactionId, ...], int]
+        ] = {}
+        missing = False
+        worklist: List[TransactionId] = [root_tid]
+        while worklist:
+            tid = worklist.pop()
+            if tid in needed or tid in rstate["applied"]:
+                continue
+            body = rstate["bodies"].get(tid)
+            if body is None:
+                missing = True
+                continue
+            needed[tid] = body
+            worklist.extend(body[1])
+        if missing:
+            # Part of the closure is gone (a controller lost the record
+            # beyond the replication budget): the driver falls back to
+            # the classic Figure-7 retrieval for this root and the
+            # client computes — and decides — locally.
+            batch["entries"][root_tid] = {
+                "tid": root_tid, "status": "failed",
+            }
             return
         graph = TransactionGraph()
-        for transaction, antecedents, order in derivation["bodies"].values():
+        for transaction, antecedents, order in needed.values():
             graph.add(transaction, antecedents, order)
         root = RelevantTransaction(
             transaction=record["transaction"],
-            priority=derivation["priority"],
+            priority=rstate["priority"],
             order=record["order"],
         )
         try:
             extension = compute_update_extension(
-                self._schema, graph, root, frozenset(derivation["applied"])
+                self._schema, graph, root, frozenset(rstate["applied"])
             )
         except FlattenError:
             # Ship the bodies with no extension: the client's fallback
             # recomputation reaches the same FlattenError and rejects
             # the root, byte-identically to the client-centric path.
             extension = None
+        digest = None
         if extension is not None:
-            self.nc_memo[(derivation["participant"], tid)] = (
-                derivation["version"], extension,
+            digest = _extension_digest(extension)
+            self.nc_memo[(batch["participant"], root_tid)] = (
+                batch["version"], extension, digest,
             )
-        self._nc_send_data(
-            network,
-            client=derivation["client"],
-            participant=derivation["participant"],
-            record=record,
-            priority=derivation["priority"],
-            extension=extension,
-            bodies=derivation["bodies"],
+            if digest == rstate.get("want_digest"):
+                # The applied-set version moved, but the freshly derived
+                # extension is content-identical to the payload the
+                # client retains (its closure is disjoint from whatever
+                # was newly applied).  The digest token answers the
+                # root; no body or extension byte travels again.
+                batch["unchanged"][root_tid] = digest
+                return
+        self._nc_stage_data(
+            batch, record, rstate["priority"], extension, digest, needed
         )
 
-    def _nc_send_data(
+    def _nc_stage_from_memo(
         self,
-        network: Network,
-        client: str,
-        participant: int,
+        batch: Dict[str, Any],
+        record: Dict[str, Any],
+        priority: int,
+        extension: UpdateExtension,
+        digest: str,
+    ) -> bool:
+        """Stage a full re-ship of a memoized extension (the client
+        holds no matching retained payload); False when a member body
+        has been lost locally, forcing a fresh derivation."""
+        bodies = {}
+        for member in extension.members:
+            body = self._cf_local_body(member)
+            if body is None:  # pragma: no cover - bodies cache is unbounded
+                return False
+            bodies[member] = body
+        self._nc_stage_data(batch, record, priority, extension, digest, bodies)
+        return True
+
+    def _nc_stage_data(
+        self,
+        batch: Dict[str, Any],
         record: Dict[str, Any],
         priority: int,
         extension: Optional[UpdateExtension],
+        digest: Optional[str],
         bodies: Dict[
             TransactionId, Tuple[Transaction, Tuple[TransactionId, ...], int]
         ],
     ) -> None:
-        """One ``nc_data`` delivery: root body, derived extension, and
-        the member bodies this participant has not received before.
+        """Stage one root's payload into the coalesced ``nc_data``.
 
         Pricing mirrors ``txn_data``: each body not yet delivered to the
         participant (as this controller knows it — a body another
         controller delivered may be re-priced, a deliberately
         conservative estimate) pays its fragments and bytes; the derived
-        extension pays its own fragments on top; everything already held
-        client-side rides in the header.
+        extension rides dictionary-encoded against the member bodies the
+        client holds (see :func:`_encoded_extension_cost`); everything
+        already held client-side — and every coalesced root beyond the
+        first — rides in the one shared header.
         """
+        participant = batch["participant"]
         transaction: Transaction = record["transaction"]
         tid = transaction.tid
-        fragments = 0
-        size = _HEADER_WIRE_BYTES
         members = []
         for member, body in sorted(
             bodies.items(), key=lambda item: item[1][2]
@@ -1258,28 +1530,80 @@ class _HostNode(Node):
             )
             self.delivered.add((participant, member))
             if first:
-                fragments += _payload_fragments(body[0])
-                size += _body_bytes(body[0])
+                batch["fragments"] += _payload_fragments(body[0])
+                batch["size"] += _body_bytes(body[0])
             if member != tid:
                 members.append(body)
         if extension is not None:
-            fragments += _extension_fragments(extension)
-            size += _extension_bytes(extension)
-        network.send(
-            self.name,
-            client,
-            "nc_data",
-            _fragments=max(1, fragments),
-            _size_bytes=size,
-            tid=tid,
-            failed=False,
-            transaction=transaction,
-            antecedents=record["antecedents"],
-            order=record["order"],
-            priority=priority,
-            extension=extension,
-            members=members,
-        )
+            pool: Set[str] = set()
+            for member in extension.members:
+                body = bodies.get(member)
+                if body is None:
+                    body = self._cf_local_body(member)
+                if body is not None:
+                    pool.update(
+                        repr(update) for update in body[0].updates
+                    )
+            ext_fragments, ext_bytes = _encoded_extension_cost(
+                extension, pool
+            )
+            batch["fragments"] += ext_fragments
+            batch["size"] += ext_bytes
+        batch["entries"][tid] = {
+            "tid": tid,
+            "status": "data",
+            "transaction": transaction,
+            "antecedents": record["antecedents"],
+            "order": record["order"],
+            "priority": priority,
+            "extension": extension,
+            "members": members,
+            "digest": digest,
+        }
+
+    def _nc_flush_batch(self, network: Network, token: str) -> None:
+        """Ship the coalesced replies: one tiny ``nc_unchanged`` token
+        message for the provably-unchanged roots, and one sized
+        ``nc_data`` carrying everything else this controller owes the
+        participant this round."""
+        batch = self.nc_batches.pop(token)
+        client = batch["client"]
+        if batch["unchanged"]:
+            network.send(
+                self.name,
+                client,
+                "nc_unchanged",
+                size_bytes=(
+                    _HEADER_WIRE_BYTES
+                    + len(batch["unchanged"])
+                    * (_TID_WIRE_BYTES + _DIGEST_WIRE_BYTES)
+                ),
+                token=token,
+                entries=[
+                    {"tid": tid, "digest": batch["unchanged"][tid]}
+                    for tid in sorted(batch["unchanged"])
+                ],
+            )
+        if batch["entries"]:
+            entries = [
+                batch["entries"][tid] for tid in sorted(batch["entries"])
+            ]
+            # Terminal non-data entries (irrelevant/unknown/failed) ride
+            # as tiny per-root markers in the shared header's message.
+            size = batch["size"] + sum(
+                _TID_WIRE_BYTES
+                for entry in entries
+                if entry["status"] != "data"
+            )
+            network.send(
+                self.name,
+                client,
+                "nc_data",
+                fragments=max(1, batch["fragments"]),
+                size_bytes=size,
+                token=token,
+                entries=entries,
+            )
 
     def _on_request_txn(self, network: Network, message: Message) -> None:
         """Figure 7: serve a transaction, forwarding antecedent requests."""
@@ -1336,8 +1660,8 @@ class _HostNode(Node):
             self.name,
             client,
             "txn_data",
-            _fragments=fragments,
-            _size_bytes=size,
+            fragments=fragments,
+            size_bytes=size,
             tid=tid,
             transaction=transaction,
             antecedents=record["antecedents"],
@@ -1577,6 +1901,15 @@ class DhtUpdateStore(UpdateStore):
         # peer coordinator's working memory, held driver-side like the
         # other coordinator mirrors).
         self._nc_pair_caches: Dict[int, ConflictCache] = {}
+        # The client half of the delta-encoded re-ship (PR 8): each
+        # participant's retained assembled payloads, keyed by root, with
+        # the controller's digest and the applied-set version they were
+        # assembled under.  While the version holds, the driver echoes
+        # the digest in ``nc_request`` and re-attaches the payload on an
+        # ``nc_unchanged`` answer instead of receiving it again.
+        self._nc_retained: Dict[
+            int, Dict[TransactionId, Dict[str, Any]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -1650,8 +1983,8 @@ class DhtUpdateStore(UpdateStore):
                 client.name,
                 target,
                 kind,
-                _fragments=fragments,
-                _size_bytes=size_bytes,
+                fragments=fragments,
+                size_bytes=size_bytes,
                 req=req,
                 **payload,
             )
@@ -2081,16 +2414,21 @@ class DhtUpdateStore(UpdateStore):
         quadrant).
 
         The epoch-discovery front half is identical to the
-        client-centric protocol.  Every candidate root — newly stable
+        client-centric protocol.  The candidate roots — newly stable
         transactions plus the participant's open deferred set, which the
         store reconsiders each round exactly like the central backends —
-        is then requested with ``nc_request``: the root's transaction
-        controller derives the participant's update extension against
-        its applied set (walking the closure with per-member verdict
-        queries to the other controllers) and ships it, with any bodies
-        the participant lacks, as ``nc_data``.  The driver, standing in
-        for the peer coordinator, runs the shared pairwise conflict
-        assembly (:func:`~repro.store.network_centric.attach_assembled_payload`)
+        are grouped by owning transaction controller and requested with
+        one ``nc_request`` per controller: the controller derives each
+        root's update extension against the participant's applied set
+        (walking the closure with batched per-member verdict queries to
+        the other controllers) and ships everything coalesced — one
+        sized ``nc_data`` per controller, plus a tiny ``nc_unchanged``
+        token for roots whose retained payload the client proved (by
+        echoing the memo digest) to be current; those re-attach the
+        retained assembled payload instead of travelling again.  The
+        driver, standing in for the peer coordinator, runs the pairwise
+        conflict assembly
+        (:func:`~repro.store.network_centric.attach_assembled_payload`)
         and prices the adjacency shipment as one final sized message.
 
         A root whose derivation failed (a closure member's controller
@@ -2114,17 +2452,22 @@ class DhtUpdateStore(UpdateStore):
                 candidates.append(tid)
 
         token = ""
+        retained = self._nc_retained.setdefault(participant, {})
         pending = list(candidates)
         answered: Set[TransactionId] = set()
         data_payloads: Dict[TransactionId, Dict[str, Any]] = {}
         failed: List[TransactionId] = []
-        # ``nc_irrelevant`` and ``txn_unknown`` replies end the root's
-        # retrieval without data: a decided/untrusted root, or one whose
-        # controller lost its record, drops out of the batch exactly as
-        # it does on the client-centric path.  Roots with *no* reply are
-        # transport losses, retried under a fresh token (stale in-flight
-        # ``nc_fetch``/``nc_member`` traffic then references a dead
-        # derivation key and is ignored).
+        # Each root's terminal answer arrives inside its controller's
+        # coalesced reply: a ``data`` entry carries the payload, an
+        # ``irrelevant``/``unknown`` entry ends the root's retrieval
+        # without one (a decided/untrusted root, or one whose controller
+        # lost its record, drops out of the batch exactly as it does on
+        # the client-centric path), a ``failed`` entry degrades the root
+        # to Figure-7 retrieval, and an ``nc_unchanged`` digest token
+        # re-attaches the retained payload of an earlier round.  Roots
+        # with *no* answer are transport losses, retried under a fresh
+        # token (stale in-flight batch traffic then references a dead
+        # batch key and is ignored).
         for attempt in range(self._max_retries + 1):
             if not pending:
                 break
@@ -2132,12 +2475,32 @@ class DhtUpdateStore(UpdateStore):
                 self._note_retry("nc_request", None, attempt)
             self._token_counter += 1
             token = f"ncrecon:{participant}:{self._token_counter}"
+            by_controller: Dict[str, List[TransactionId]] = {}
             for tid in pending:
+                by_controller.setdefault(
+                    self._owner(f"txn:{tid}"), []
+                ).append(tid)
+            for controller in sorted(by_controller):
+                roots_payload = []
+                for tid in by_controller[controller]:
+                    # Echo the retained payload's digest even across
+                    # applied-version bumps: the controller compares it
+                    # against the *freshly derived* extension's digest,
+                    # so a content-identical re-derivation still comes
+                    # back as a token instead of bodies.
+                    held = retained.get(tid)
+                    digest = held["digest"] if held is not None else None
+                    roots_payload.append({"tid": tid, "digest": digest})
                 self._network.send(
                     client.name,
-                    self._owner(f"txn:{tid}"),
+                    controller,
                     "nc_request",
-                    tid=tid,
+                    size_bytes=(
+                        _HEADER_WIRE_BYTES
+                        + len(roots_payload)
+                        * (_TID_WIRE_BYTES + _DIGEST_WIRE_BYTES)
+                    ),
+                    roots=roots_payload,
                     participant=participant,
                     version=peer["version"],
                     client=client.name,
@@ -2147,15 +2510,28 @@ class DhtUpdateStore(UpdateStore):
             for message in client.drain():
                 payload = message.payload
                 if message.kind == "nc_data":
-                    tid = payload["tid"]
-                    answered.add(tid)
-                    if payload["failed"]:
-                        if tid not in data_payloads and tid not in failed:
-                            failed.append(tid)
-                    else:
-                        data_payloads.setdefault(tid, payload)
-                elif message.kind in ("nc_irrelevant", "txn_unknown"):
-                    answered.add(payload["tid"])
+                    for entry in payload["entries"]:
+                        tid = entry["tid"]
+                        answered.add(tid)
+                        if entry["status"] == "data":
+                            data_payloads.setdefault(tid, entry)
+                        elif entry["status"] == "failed":
+                            if tid not in data_payloads and tid not in failed:
+                                failed.append(tid)
+                elif message.kind == "nc_unchanged":
+                    for entry in payload["entries"]:
+                        tid = entry["tid"]
+                        held = retained.get(tid)
+                        if (
+                            held is not None
+                            and held["digest"] == entry["digest"]
+                        ):
+                            answered.add(tid)
+                            data_payloads.setdefault(tid, held["payload"])
+                        # A token for a payload the client no longer
+                        # holds is not an answer: the root stays
+                        # pending and the retry carries no digest,
+                        # forcing the full-payload fallback.
             pending = [tid for tid in pending if tid not in answered]
         if pending:
             missing = sorted(str(tid) for tid in pending)
@@ -2185,6 +2561,19 @@ class DhtUpdateStore(UpdateStore):
             )
             if payload["extension"] is not None:
                 derived[payload["tid"]] = payload["extension"]
+
+        # Retain this round's assembled payloads client-side: while the
+        # applied-set version is unchanged, the next round's controllers
+        # answer with ``nc_unchanged`` digest tokens and the retained
+        # entry is re-attached instead of re-shipped — the delta
+        # encoding's client half.  (complete_reconciliation prunes the
+        # retention to the still-deferred roots.)
+        for tid, payload in data_payloads.items():
+            if payload["extension"] is not None and payload.get("digest"):
+                retained[tid] = {
+                    "digest": payload["digest"],
+                    "payload": payload,
+                }
 
         if failed:
             # Degraded roots travel the classic client-centric protocol;
@@ -2234,15 +2623,23 @@ class DhtUpdateStore(UpdateStore):
             self._owner(f"peer:{participant}"),
             client.name,
             "nc_adjacency",
-            _fragments=1 + edges,
-            _size_bytes=_HEADER_WIRE_BYTES * (1 + edges),
+            fragments=1 + edges,
+            size_bytes=_HEADER_WIRE_BYTES * (1 + edges),
             token=token,
         )
         self._run()
         client.drain()
 
         if self._ship_context_free:
-            batch.pair_cache = self._shared_pairs
+            # The engine's incremental conflict index consults the
+            # batch's pair memo when it rebuilds soft state.  The pairs
+            # worth sharing here are the ones this assembly just
+            # compared — the per-participant extensions never appear in
+            # the confederation-wide context-free memo, so attaching
+            # that one (as this path once did) could never hit.
+            # Identity validation keeps the reuse exact, so decisions
+            # are unchanged; only the redundant re-comparisons go away.
+            batch.pair_cache = pair_cache
         return batch
 
     # ------------------------------------------------------------------
@@ -2302,6 +2699,13 @@ class DhtUpdateStore(UpdateStore):
         peer["deferred"].difference_update(result.rejected)
         if result.applied:
             peer["version"] += 1
+        # Only still-deferred roots can ever be answered with an
+        # ``nc_unchanged`` token again, so the client's retained
+        # payloads shrink to exactly that set.
+        retained = self._nc_retained.get(participant)
+        if retained is not None:
+            for tid in [t for t in retained if t not in peer["deferred"]]:
+                del retained[tid]
         if retired_set:
             # Controllers dropped their derived extensions; retire the
             # driver-side shared memos for the same roots.

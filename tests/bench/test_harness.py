@@ -129,6 +129,81 @@ class TestRegressionGate:
         )
         assert main([str(engine), str(dht), "--baseline", str(baseline)]) == 1
 
+    def test_budgeted_metrics_within_ceiling_pass(self, tmp_path):
+        from benchmarks.check_regression import main
+
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema_version": 3,
+                "benchmarks": {
+                    "dht_network_centric": {
+                        "benchmark": "dht_network_centric",
+                        "speedup": 2.9,
+                        "budgets": {"message_ratio": 1.8, "byte_ratio": 1.5},
+                    }
+                },
+            },
+        )
+        fresh = self._write(
+            tmp_path / "d.json",
+            {
+                "benchmark": "dht_network_centric",
+                "speedup": 3.5,
+                "message_ratio": 1.7,
+                "byte_ratio": 1.3,
+            },
+        )
+        assert main([str(fresh), "--baseline", str(baseline)]) == 0
+
+    def test_budget_overrun_fails_even_with_good_speedup(self, tmp_path):
+        from benchmarks.check_regression import main
+
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema_version": 3,
+                "benchmarks": {
+                    "dht_network_centric": {
+                        "benchmark": "dht_network_centric",
+                        "speedup": 2.9,
+                        "budgets": {"message_ratio": 1.8},
+                    }
+                },
+            },
+        )
+        fresh = self._write(
+            tmp_path / "d.json",
+            {
+                "benchmark": "dht_network_centric",
+                "speedup": 5.0,
+                "message_ratio": 2.4,
+            },
+        )
+        assert main([str(fresh), "--baseline", str(baseline)]) == 1
+
+    def test_missing_budgeted_metric_fails(self, tmp_path):
+        from benchmarks.check_regression import main
+
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema_version": 3,
+                "benchmarks": {
+                    "dht_network_centric": {
+                        "benchmark": "dht_network_centric",
+                        "speedup": 2.9,
+                        "budgets": {"byte_ratio": 1.5},
+                    }
+                },
+            },
+        )
+        fresh = self._write(
+            tmp_path / "d.json",
+            {"benchmark": "dht_network_centric", "speedup": 3.5},
+        )
+        assert main([str(fresh), "--baseline", str(baseline)]) == 1
+
     def test_legacy_flat_baseline_still_understood(self, tmp_path):
         from benchmarks.check_regression import main
 

@@ -213,6 +213,28 @@ class TestRunAndReport:
             assert agg.reconciliations == 2
         assert report.store_messages > 0
         assert 1.0 <= report.state_ratio <= 4.0
+        # The default in-process store has no simulated network: the
+        # wire-metric maps are present but empty.
+        assert report.kind_counts == {}
+        assert report.kind_bytes == {}
+
+    def test_report_wire_metrics_mirror_the_dht_network(self):
+        config = ConfederationConfig(
+            store="dht",
+            store_options={"hosts": 3},
+            peers=(1, 2, 3),
+            reconciliation_interval=2,
+            rounds=1,
+            workload=WorkloadConfig(seed=11),
+        )
+        with Confederation(config) as confed:
+            report = confed.run()
+            net = confed.store.network
+            assert report.kind_counts == net.kind_counts
+            assert report.kind_bytes == net.kind_bytes
+        assert sum(report.kind_counts.values()) > 0
+        # Every kind's byte share sums back to the delivered total.
+        assert set(report.kind_bytes) == set(report.kind_counts)
 
     def test_report_metrics_come_from_the_bus(self):
         config = ConfederationConfig(

@@ -120,6 +120,49 @@ def test_maskable_faults_identical_in_store_computed_mode(seed):
     assert chaotic[2].faults.injected.get("crash") == 1
 
 
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_batched_delta_protocol_masks_wire_faults(seed):
+    """Faults aimed squarely at the PR 8 wire-protocol kinds — the
+    batched verdict round-trip (``nc_fetch_batch``/``nc_member_batch``),
+    the coalesced ``nc_data``, and the ``nc_unchanged`` digest token —
+    must stay invisible: decisions and final instances match the
+    fault-free central baseline byte-for-byte.  The probability-1.0
+    drops guarantee a dropped-then-retried batch on every seed, so a
+    double-apply bug would split the streams and fail the assertion.
+
+    The plan can sink up to 8 messages, and in the worst case every
+    drop lands on the same root's request chain in consecutive
+    attempts, so the retry budget is raised to keep the plan maskable
+    by construction (8 drops < 9 attempts)."""
+    plan = FaultPlan(
+        seed=seed,
+        messages=(
+            MessageFault("nc_request", "drop", probability=0.3, times=2),
+            MessageFault("nc_fetch_batch", "drop", probability=1.0, times=2),
+            MessageFault("nc_data", "drop", probability=0.3, times=2),
+            MessageFault("nc_data", "duplicate", probability=1.0, times=3),
+            MessageFault(
+                "nc_member_batch", "duplicate", probability=0.5, times=3
+            ),
+            MessageFault("nc_unchanged", "drop", probability=0.5, times=2),
+            MessageFault("nc_unchanged", "duplicate", probability=0.5, times=2),
+            MessageFault("nc_data", "delay", probability=0.2, times=4),
+        ),
+    )
+    baseline = run_confederation("central", {}, seed)
+    chaotic = run_confederation(
+        "dht", dict(DHT_K2, max_retries=8), seed,
+        faults=plan, network_centric="store"
+    )
+    assert chaotic[0] == baseline[0]
+    assert chaotic[1] == baseline[1]
+    assert chaotic[2].state_ratio == baseline[2].state_ratio
+    summary = chaotic[2].faults
+    assert summary.injected.get("drop", 0) >= 2
+    assert summary.injected.get("duplicate", 0) >= 3
+    assert summary.retries >= 1
+
+
 BLACK_HOLE = FaultPlan(
     seed=1,
     messages=(

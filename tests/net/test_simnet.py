@@ -44,15 +44,38 @@ class TestNetwork:
         # Explicit size wins; unspecified sizes default per fragment —
         # the echo reply is 1 fragment, the 3-fragment probe is charged
         # at three defaults.
-        net.send("a", "b", "ping", _size_bytes=1000)
+        net.send("a", "b", "ping", size_bytes=1000)
         net.run()
-        net.send("a", "b", "probe", _fragments=3)
+        net.send("a", "b", "probe", fragments=3)
         net.run()
         assert net.bytes_delivered == (
             1000
             + DEFAULT_FRAGMENT_BYTES  # pong reply to the ping
             + 3 * DEFAULT_FRAGMENT_BYTES  # unanswered probe
         )
+        # Per-kind byte accounting mirrors the totals, split by kind.
+        assert net.kind_bytes == {
+            "ping": 1000,
+            "pong": DEFAULT_FRAGMENT_BYTES,
+            "probe": 3 * DEFAULT_FRAGMENT_BYTES,
+        }
+        assert sum(net.kind_bytes.values()) == net.bytes_delivered
+
+    def test_deprecated_underscore_sizing_aliases(self):
+        net = Network(latency=0.001)
+        a, b = EchoNode("a"), EchoNode("b")
+        net.add_node(a)
+        net.add_node(b)
+        with pytest.warns(DeprecationWarning):
+            net.send("a", "b", "probe", _fragments=2)
+        with pytest.warns(DeprecationWarning):
+            net.send("a", "b", "probe", _size_bytes=640)
+        net.run()
+        # Aliases feed the real sizing fields, not the payload.
+        assert net.messages_delivered == 3  # 2 fragments + 1
+        assert net.bytes_delivered == 2 * 256 + 640
+        assert all("_fragments" not in m.payload for m in b.received)
+        assert all("_size_bytes" not in m.payload for m in b.received)
 
     def test_duplicate_node_rejected(self):
         net = Network()
@@ -95,12 +118,13 @@ class TestNetwork:
         net.add_node(a)
         net.add_node(b)
         net.fail_node("b")
-        net.send("a", "b", "ping", _fragments=3, _size_bytes=999)
+        net.send("a", "b", "ping", fragments=3, size_bytes=999)
         net.run()
         assert net.messages_delivered == 0
         assert net.bytes_delivered == 0
         assert net.simulated_seconds == 0.0
         assert net.kind_counts == {}
+        assert net.kind_bytes == {}
         # Recovery restores normal accounting.
         net.recover_node("b")
         net.send("a", "b", "ping")

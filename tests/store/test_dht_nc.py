@@ -89,8 +89,12 @@ class TestProtocol:
         before = dict(store.network.kind_counts)
         result = peers[reader].publish_and_reconcile()
         kinds = store.network.kind_counts
-        assert kinds.get("nc_fetch", 0) > before.get("nc_fetch", 0)
-        assert kinds.get("nc_member", 0) > before.get("nc_member", 0)
+        assert kinds.get("nc_fetch_batch", 0) > before.get(
+            "nc_fetch_batch", 0
+        )
+        assert kinds.get("nc_member_batch", 0) > before.get(
+            "nc_member_batch", 0
+        )
         assert peers[reader].instance.contains_row("F", RAT_REVISED)
         assert len(result.applied) == 2  # the chain arrived whole
 
@@ -114,13 +118,47 @@ class TestProtocol:
         assert set(store_deferred) == deferred
 
         # While the applied set is unchanged, re-derivation is a memo
-        # hit: the identical extension objects ship again (the client's
-        # incremental conflict index validates by identity).
+        # hit — and since the client retains the assembled payload, the
+        # controllers answer with tiny ``nc_unchanged`` digest tokens
+        # instead of re-shipping bodies.  The identical extension
+        # objects re-attach (the client's incremental conflict index
+        # validates by identity).
+        unchanged_before = store.network.kind_counts.get("nc_unchanged", 0)
+        data_bytes_before = store.network.kind_bytes.get("nc_data", 0)
         first = store.begin_network_reconciliation(3)
         second = store.begin_network_reconciliation(3)
         assert set(first.extensions) == deferred
         for tid in deferred:
             assert first.extensions[tid] is second.extensions[tid]
+        # Both re-ship rounds were fully delta-encoded: nc_unchanged
+        # tokens flowed and not one nc_data byte travelled.
+        assert (
+            store.network.kind_counts.get("nc_unchanged", 0)
+            > unchanged_before
+        )
+        assert store.network.kind_bytes.get("nc_data", 0) == data_bytes_before
+
+    def test_full_payload_fallback_when_retention_is_gone(self):
+        # A client that no longer holds the retained payload (e.g. a
+        # crash-restart wiped it) sends no digest; the controller falls
+        # back to the full-payload re-ship from its memo.
+        store = DhtUpdateStore(curated_schema(), hosts=3)
+        peers = build(store, [1, 2, 3])
+        peers[1].execute([Insert("F", RAT_IMMUNE, 1)])
+        peers[1].publish_and_reconcile()
+        peers[2].execute([Insert("F", RAT_RESP, 2)])
+        peers[2].publish_and_reconcile()
+        result = peers[3].publish_and_reconcile()
+        assert len(result.deferred) == 2
+        deferred = {TransactionId(1, 0), TransactionId(2, 0)}
+
+        store._nc_retained[3].clear()
+        data_bytes_before = store.network.kind_bytes.get("nc_data", 0)
+        batch = store.begin_network_reconciliation(3)
+        assert set(batch.extensions) == deferred
+        # The memoized extensions travelled again in full, as nc_data.
+        assert store.network.kind_bytes.get("nc_data", 0) > data_bytes_before
+        assert controller_memo_keys(store) == {(3, tid) for tid in deferred}
 
     def test_final_verdicts_retire_the_controller_memo(self):
         from repro.core import Resolution
