@@ -14,6 +14,9 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import pathlib
+import tempfile
+
 from repro import (
     AttributeDef,
     Confederation,
@@ -129,7 +132,8 @@ def main() -> None:
     #    participant's update extensions and conflict adjacency itself
     #    and ships a fully-assembled batch — the client only checks
     #    state and applies.  Every built-in backend (memory, central,
-    #    dht) supports it, and outcomes are identical by construction.
+    #    durable, dht) supports it, and outcomes are identical by
+    #    construction.
     nc_config = ConfederationConfig(
         store="memory", peers=(1, 2, 3), network_centric="store"
     )
@@ -232,6 +236,45 @@ def main() -> None:
                 f" {wire.kind_bytes[kind]:6d} bytes"
             )
         assert wire.kind_counts.get("nc_data", 0) >= 1
+
+    # 13. Durability: store="durable" keeps the append-only update
+    #     store on a real database file (WAL), paging transaction
+    #     bodies through a bounded LRU so RAM stays O(open frontier)
+    #     while the full history lives on disk.  "Crash" the process by
+    #     closing everything, then reopen the same path: registered
+    #     participants are adopted and their soft state rebuilt from
+    #     persisted counters — O(delta), never a history replay.
+    with tempfile.TemporaryDirectory() as scratch:
+        db_path = str(pathlib.Path(scratch) / "quickstart.db")
+        durable_config = ConfederationConfig(
+            store="durable",
+            store_options={"path": db_path, "cache_size": 8},
+            peers=(1, 2),
+        )
+        with Confederation.from_config(durable_config, schema=schema) as run1:
+            writer, reader = run1.participants
+            writer.execute(
+                [Insert("F", ("rat", "prot4", "folding"), writer.id)]
+            )
+            writer.publish_and_reconcile()
+            reader.publish_and_reconcile()
+            stats = run1.store.page_cache_stats()
+            print(
+                f"durable: {stats['resident']} bodies resident "
+                f"(cache capacity {stats['capacity']}), history on disk"
+            )
+        # Everything in memory is gone now; only the file survives.
+        with Confederation.from_config(durable_config, schema=schema) as run2:
+            _, reader2 = run2.participants
+            restored = run2.restore(reader2.id)
+            assert restored.instance.contains_row(
+                "F", ("rat", "prot4", "folding")
+            )
+            print(
+                "durable: reopened the database file, adopted both "
+                "participants, restored the reader's replica from disk "
+                "(see examples/durable_store.py for the crash-mid-run tour)."
+            )
 
 
 if __name__ == "__main__":

@@ -19,7 +19,8 @@ The public API is the **unified confederation layer** (:mod:`repro.confed`):
   ``snapshot``/``restore`` soft-state reconstruction, the evaluation
   schedule, and metric reports;
 * the **store driver registry** (:mod:`repro.store.registry`) —
-  backends selected by name (``memory``, ``central``, ``dht``) with
+  backends selected by name (``memory``, ``central``, ``durable``,
+  ``dht``) with
   honest :class:`StoreCapabilities` flags the engine consults instead
   of type checks; :func:`register_store` adds new backends without
   engine changes;
@@ -109,6 +110,7 @@ from repro.policy import (
 from repro.store import (
     CentralUpdateStore,
     DhtUpdateStore,
+    DurableUpdateStore,
     MemoryUpdateStore,
     StoreCapabilities,
     UpdateStore,
@@ -134,6 +136,7 @@ __all__ = [
     "ConfederationReport",
     "Decision",
     "DhtUpdateStore",
+    "DurableUpdateStore",
     "FaultController",
     "FaultPlan",
     "HookBus",

@@ -17,11 +17,12 @@ from repro.analysis.rules import default_rules
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (also the docs' flag reference)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
             "Determinism & lock-discipline checker: repo-specific AST "
-            "lint rules (RPR001-RPR008) over the given files and "
+            "lint rules (RPR001-RPR009) over the given files and "
             "directories."
         ),
     )
@@ -50,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Run the checker; exit 0 clean, 1 findings, 2 usage error."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:

@@ -85,6 +85,7 @@ class ModuleContext:
 
     @classmethod
     def from_path(cls, path: str) -> "ModuleContext":
+        """Classify ``path`` into realm/subpackage for rule targeting."""
         parts = Path(path).parts
         realm = "other"
         subpackage = None

@@ -80,6 +80,7 @@ def _walk_with_function_stack(
     """Yield ``(node, enclosing function names)`` over the whole tree."""
 
     def visit(node: ast.AST, stack: Tuple[str, ...]) -> Iterator:
+        """Recurse, yielding each node with its enclosing-function stack."""
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield child, stack
@@ -102,9 +103,11 @@ class StoreTypeCheckRule(Rule):
     )
 
     def applies(self, context: ModuleContext) -> bool:
+        """src/ modules outside store/ — the engine side of the seam."""
         return context.realm == "src" and context.subpackage != "store"
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag isinstance/type() switches on imported store classes."""
         imported: Set[str] = set()
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom):
@@ -132,6 +135,7 @@ class StoreTypeCheckRule(Rule):
         """The store class a type switch targets, if ``node`` is one."""
 
         def named(expr: ast.AST) -> Optional[str]:
+            """The imported store-class name ``expr`` references, if any."""
             if isinstance(expr, ast.Name) and expr.id in imported:
                 return expr.id
             return None
@@ -178,9 +182,11 @@ class UnseededRandomRule(Rule):
     REALMS = frozenset({"src", "examples", "benchmarks"})
 
     def applies(self, context: ModuleContext) -> bool:
+        """Everything seeded is in scope: src/, examples/, benchmarks/."""
         return context.realm in self.REALMS
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag shared-RNG draws and argless ``random.Random()``."""
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
                 bad = [a.name for a in node.names if a.name != "Random"]
@@ -231,9 +237,11 @@ class WallClockRule(Rule):
     SUBPACKAGES = frozenset({"core", "store"})
 
     def applies(self, context: ModuleContext) -> bool:
+        """Decision-path subpackages only: core/ and store/."""
         return context.realm == "src" and context.subpackage in self.SUBPACKAGES
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag wall-clock reads (``time.*``, ``datetime.now``, ...)."""
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module == "time":
                 bad = [a.name for a in node.names if a.name in WALL_CLOCK_ATTRS]
@@ -285,6 +293,7 @@ class DirectStoreCallRule(Rule):
     )
 
     def applies(self, context: ModuleContext) -> bool:
+        """The transport layer: src/repro/cdss."""
         return context.realm == "src" and context.subpackage == "cdss"
 
     @staticmethod
@@ -298,6 +307,7 @@ class DirectStoreCallRule(Rule):
         )
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag ``.store.method(...)`` calls outside ``_store_call``."""
         for node, stack in _walk_with_function_stack(tree):
             if self._exempt(stack):
                 continue
@@ -332,9 +342,11 @@ class HookEventRule(Rule):
     )
 
     def applies(self, context: ModuleContext) -> bool:
+        """All src/ modules."""
         return context.realm == "src"
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag unknown event names and ``_handlers`` pokes."""
         in_hooks_module = context.in_module("confed/hooks.py")
         for node in ast.walk(tree):
             if (
@@ -377,10 +389,13 @@ class MemoMutationRule(Rule):
     )
 
     def applies(self, context: ModuleContext) -> bool:
+        """Everywhere except the memos' own module, core/cache.py."""
         return not context.in_module("core/cache.py")
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag writes, deletes, and mutator calls on a ``._entries``."""
         def is_entries_attr(expr: ast.AST) -> bool:
+            """True when ``expr`` is an ``._entries`` attribute access."""
             return isinstance(expr, ast.Attribute) and expr.attr == "_entries"
 
         for node in ast.walk(tree):
@@ -436,6 +451,7 @@ class SetIterationRule(Rule):
     SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
 
     def applies(self, context: ModuleContext) -> bool:
+        """All src/ modules."""
         return context.realm == "src"
 
     @classmethod
@@ -465,6 +481,7 @@ class SetIterationRule(Rule):
             yield from SetIterationRule._scope_nodes(child)
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag for/comprehension iteration over set-valued expressions."""
         # A light local-dataflow pass per scope: names assigned a set
         # expression count as set-valued for iteration checks in that
         # same scope (re-assignment to a non-set clears them).
@@ -518,9 +535,11 @@ class DictRoundTripRule(Rule):
     )
 
     def applies(self, context: ModuleContext) -> bool:
+        """All src/ modules."""
         return context.realm == "src"
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag to_dict()/field drift on round-trippable dataclasses."""
         for node in ast.walk(tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -609,6 +628,7 @@ class KindsRegistryRule(Rule):
     )
 
     def applies(self, context: ModuleContext) -> bool:
+        """All src/ modules."""
         return context.realm == "src"
 
     @staticmethod
@@ -650,6 +670,7 @@ class KindsRegistryRule(Rule):
         return None
 
     def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag literal kinds missing from the module's KINDS registry."""
         # Engage only for modules that actually speak the wire protocol
         # (at least one literal-kind send) — hook-bus subscribers also
         # name methods ``_on_<event>`` and must not be swept in.

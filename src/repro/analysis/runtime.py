@@ -63,6 +63,7 @@ class InstrumentedRLock:
         self._depth = 0
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the inner lock, recording this thread as the owner."""
         acquired = self._inner.acquire(blocking, timeout)
         if acquired:
             self._owner = threading.get_ident()
@@ -70,6 +71,7 @@ class InstrumentedRLock:
         return acquired
 
     def release(self) -> None:
+        """Release the inner lock, clearing ownership at depth zero."""
         self._depth -= 1
         if self._depth == 0:
             self._owner = 0
@@ -163,6 +165,7 @@ class GuardedSequence(_Guarded, MutableSequence):
         return len(self._inner)
 
     def insert(self, index, value) -> None:
+        """``list.insert`` under the ownership assertion."""
         self._assert_held()
         self._inner.insert(index, value)
 
@@ -190,10 +193,12 @@ class GuardedSet(_Guarded, MutableSet):
         return len(self._inner)
 
     def add(self, value) -> None:
+        """``set.add`` under the ownership assertion."""
         self._assert_held()
         self._inner.add(value)
 
     def discard(self, value) -> None:
+        """``set.discard`` under the ownership assertion."""
         self._assert_held()
         self._inner.discard(value)
 

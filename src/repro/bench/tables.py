@@ -18,6 +18,7 @@ def format_table(
             widths[index] = max(widths[index], len(cell))
 
     def line(cells: Sequence[str]) -> str:
+        """One table row, right-justified to the column widths."""
         return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
 
     parts = [title, line(headers), line(["-" * w for w in widths])]

@@ -55,8 +55,8 @@ class ConfederationConfig:
       conflicts at each participant; ``"store"`` (or the legacy ``True``)
       asks the store for fully-assembled batches
       (``begin_network_reconciliation`` — requires a backend declaring
-      ``network_centric_batches``, which all three built-ins do since
-      PR 5).  ``engine_caching`` toggles the PR 1 incremental caches;
+      ``network_centric_batches``, which every built-in backend
+      does).  ``engine_caching`` toggles the PR 1 incremental caches;
     * ``workload`` plus ``reconciliation_interval`` / ``rounds`` /
       ``final_reconcile`` — the evaluation schedule
       :meth:`repro.confed.Confederation.run` executes;

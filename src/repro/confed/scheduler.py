@@ -93,6 +93,7 @@ class SerialScheduler(EpochScheduler):
     name = "serial"
 
     def run(self, confederation: "Confederation") -> None:
+        """Drive the strict round-robin schedule to completion."""
         config = confederation.config
         for round_index in range(config.rounds):
             # Resolve each participant by id at its step: a fault-plan
@@ -170,6 +171,7 @@ class ThreadedScheduler(EpochScheduler):
         return [future.result() for future in futures]
 
     def run(self, confederation: "Confederation") -> None:
+        """Drive the phased parallel schedule to completion."""
         config = confederation.config
         if not confederation.participants:
             return

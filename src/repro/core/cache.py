@@ -233,6 +233,76 @@ class ExtensionCache:
         self._entries.clear()
 
 
+class PageCache:
+    """A bounded LRU cache paging immutable values from a backing store.
+
+    The durable store (:mod:`repro.store.durable`) keeps transaction
+    bodies on disk and pages them through one of these, so resident
+    memory stays O(cache capacity) — the open frontier — while the
+    published history grows without bound.  The cache is deliberately
+    dumb: keys map to immutable values, a hit refreshes recency, and
+    inserting past ``capacity`` evicts the least-recently-used entry
+    (an evicted body is simply re-read from disk on its next miss).
+
+    Recency is tracked with the dict's own insertion order (pop +
+    re-insert on hit), so iteration — and therefore eviction — is
+    deterministic.  Counters mirror :class:`CacheStats` in spirit:
+    ``hits``/``misses`` price the paging, ``evictions`` counts
+    capacity-forced drops, and ``peak_resident`` records the high-water
+    mark the bounded-memory claim is asserted against.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        """``capacity`` must be >= 1 (a zero-size page cache would turn
+        every lookup into a disk read and hide bugs as slowness)."""
+        if capacity < 1:
+            raise ValueError(f"PageCache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.peak_resident = 0
+        self._entries: Dict[object, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached value, refreshed as most recently used; else None."""
+        value = self._entries.pop(key, None)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        if len(self._entries) > self.peak_resident:
+            self.peak_resident = len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def as_dict(self) -> Dict[str, int]:
+        """A JSON-friendly view (used by the durable perf benchmark)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident": len(self._entries),
+            "peak_resident": self.peak_resident,
+            "capacity": self.capacity,
+        }
+
+
 class ConflictCache:
     """Memoizes direct-conflict points per extension pair.
 

@@ -181,6 +181,7 @@ class FaultPlan:
         raise :class:`~repro.errors.ConfigError`."""
 
         def build(entry, entry_cls, what):
+            """One fault entry of ``entry_cls``, rejecting unknown keys."""
             from dataclasses import fields as dc_fields
 
             known = {f.name for f in dc_fields(entry_cls)}

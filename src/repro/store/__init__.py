@@ -5,7 +5,7 @@ antecedent edges at publish time, applies trust predicates, assembles
 reconciliation batches, and records each participant's decisions so no
 transaction is delivered twice.
 
-Three implementations share the :class:`repro.store.base.UpdateStore`
+Four implementations share the :class:`repro.store.base.UpdateStore`
 interface and are registered in the **driver registry**
 (:mod:`repro.store.registry`) so backends are selected by name with
 honest capability flags:
@@ -17,6 +17,12 @@ honest capability flags:
   paper's central relational store (Section 5.2.1), here on sqlite3,
   with the epoch begin/finish protocol and stable-epoch computation;
   durable, ships context-free extensions and the shared pair memo;
+* ``durable`` — :class:`repro.store.durable.DurableUpdateStore` — the
+  persistent quadrant (PR 9): the central store's append-only schema on
+  a real database file (WAL mode, crash recovery, adopt-on-reopen),
+  transaction bodies paged through a bounded LRU so resident memory is
+  O(open frontier), and retired shared-memo entries spilled to disk
+  instead of dropped;
 * ``dht`` — :class:`repro.store.dht.DhtUpdateStore` — the paper's
   distributed store (Section 5.2.2), simulated over a Pastry-style ring
   with per-message latency and byte accounting (Figures 6-7); since
@@ -37,6 +43,7 @@ engine changes.
 from repro.store.base import PerfCounters, UpdateStore
 from repro.store.central import CentralUpdateStore
 from repro.store.dht import DhtUpdateStore
+from repro.store.durable import DurableUpdateStore
 from repro.store.memory import MemoryUpdateStore
 from repro.store.registry import (
     StoreCapabilities,
@@ -64,10 +71,16 @@ register_store(
     lambda schema, **options: DhtUpdateStore(schema, **options),
     DhtUpdateStore.capabilities,
 )
+register_store(
+    "durable",
+    lambda schema, **options: DurableUpdateStore(schema, **options),
+    DurableUpdateStore.capabilities,
+)
 
 __all__ = [
     "CentralUpdateStore",
     "DhtUpdateStore",
+    "DurableUpdateStore",
     "MemoryUpdateStore",
     "PerfCounters",
     "StoreCapabilities",

@@ -304,7 +304,9 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
         store = self
 
         class _View(dict):
-            def get(self, key, default=None):
+            # Intentional docstring gap: this is dict.get's contract
+            # verbatim, narrowed to the producers table.
+            def get(self, key, default=None):  # noqa: D102
                 relation, row = key
                 record = store._conn.execute(
                     "SELECT ord FROM producers WHERE relation = ? AND row = ?",

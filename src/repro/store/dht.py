@@ -343,6 +343,7 @@ class _RingView:
         self.failed: set = set()
 
     def owner(self, key: str) -> str:
+        """The live owner of ``key``, routing around failed hosts."""
         if self.failed:
             return self._ring.owner_excluding(key, self.failed)
         return self._ring.owner(key)
@@ -616,6 +617,7 @@ class _HostNode(Node):
         target = message.payload["target"]
 
         def place(role, key, state, fragments=1, size_bytes=0):
+            """Ship ``target`` its copy of one record under the new map."""
             owners = self.ring.owners(
                 self._role_key(role, key), self.replication
             )
@@ -2853,6 +2855,7 @@ class DhtUpdateStore(UpdateStore):
         records: Dict[TransactionId, Dict[str, Any]] = {}
 
         def absorb(tid, record):
+            """Keep the most-decided copy of ``tid``'s controller record."""
             existing = records.get(tid)
             if existing is None or (
                 len(existing["decisions"]) < len(record["decisions"])

@@ -24,7 +24,7 @@ implements the *fully* network-centric batch too: controllers derive
 each participant's extensions against that participant's applied set
 over the ring protocol, and the driver assembles the conflict adjacency
 through the same :func:`attach_assembled_payload` helper the mixin uses
-here — so all three built-in backends serve
+here — so every built-in backend serves
 ``begin_network_reconciliation`` (see :mod:`repro.store.dht`).
 
 Shared-memo retention: the context-free extension memo and the shared
@@ -34,8 +34,11 @@ are therefore pruned by *reconciliation-aware retention*
 (:meth:`NetworkCentricMixin.retire_shared_entries`): once every
 registered participant holds a final verdict (applied or rejected) for
 a root, its entry — and every pair-memo entry it participates in — is
-dropped.  Retirement is pure cache eviction: a participant registered
-later simply recomputes on miss.
+dropped.  For RAM-only stores retirement is pure cache eviction: a
+participant registered later simply recomputes on miss.  A durable
+store overrides the :meth:`NetworkCentricMixin._spill_retired` /
+:meth:`NetworkCentricMixin._load_retired` seam to move retired entries
+to disk instead, so that later miss is a page-in.
 """
 
 from __future__ import annotations
@@ -162,10 +165,34 @@ class NetworkCentricMixin:
     #: recomputation on the next miss.
     SHARED_MEMO_LIMIT = 65536
 
-    @staticmethod
-    def _evict_fifo(memo, limit: int) -> None:
+    # ------------------------------------------------------------------
+    # Spill seam: a durable store can keep evicted/retired memo entries
+    # instead of dropping them.  The defaults make eviction pure cache
+    # behaviour (drop; recompute on the next miss), exactly as before.
+
+    def _spill_retired(self, tid: TransactionId, extension) -> None:
+        """Hook: a memo entry is leaving RAM (retired or FIFO-evicted).
+
+        The default drops it — retirement is pure cache eviction.  A
+        durable backend overrides this to move the entry to disk so a
+        later miss (e.g. a participant registered after retirement) is
+        a page-in, not a recomputation.
+        """
+
+    def _load_retired(self, tid: TransactionId):
+        """Hook: reload a previously spilled memo entry, or None.
+
+        The default knows no spill medium and always misses.
+        """
+        return None
+
+    def _evict_fifo(self, memo, limit: int) -> None:
+        """Evict oldest memo entries past ``limit``, spilling each one."""
         while len(memo) > limit:
-            memo.pop(next(iter(memo)))
+            tid = next(iter(memo))
+            extension = memo.pop(tid)
+            if extension is not None:
+                self._spill_retired(tid, extension)
 
     def context_free_extension(
         self, root: RelevantTransaction
@@ -192,6 +219,11 @@ class NetworkCentricMixin:
         tid = root.tid
         if tid in memo:
             return memo[tid]
+        spilled = self._load_retired(tid)
+        if spilled is not None:
+            memo[tid] = spilled
+            self._evict_fifo(memo, self.SHARED_MEMO_LIMIT)
+            return spilled
         graph = TransactionGraph()
         for member in antecedent_closure(
             lambda t: self._nc_lookup(t)[1], [tid], stop=frozenset()
@@ -234,7 +266,9 @@ class NetworkCentricMixin:
         appear in a reconciliation batch again — the store delivers only
         undecided transactions — so its context-free extension, and
         every shared pair-memo entry it participates in, is dead weight
-        and is dropped here.  (Deferred roots are *not* retired: in
+        in RAM and leaves here (dropped, or spilled to disk when the
+        store overrides :meth:`_spill_retired`).  (Deferred roots are
+        *not* retired: in
         network-centric mode the store reconsiders them every round.)
 
         With retention as the primary policy, memory tracks the
@@ -249,7 +283,9 @@ class NetworkCentricMixin:
         memo = getattr(self, "_nc_context_free", None)
         if memo:
             for tid in roots:
-                memo.pop(tid, None)
+                extension = memo.pop(tid, None)
+                if extension is not None:
+                    self._spill_retired(tid, extension)
         pairs = getattr(self, "_nc_shared_pairs", None)
         if pairs is not None:
             pairs.discard(roots)

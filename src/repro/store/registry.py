@@ -20,12 +20,13 @@ can do:
   it tracks every participant's applied set, derives each
   participant's update extensions *against that applied set*, computes
   the pairwise conflict adjacency store-side, and hands the engine a
-  fully-assembled batch.  Since PR 5 all three built-ins declare it —
-  memory/central through direct log access
+  fully-assembled batch.  Every built-in declares it —
+  memory/central/durable through direct log access
   (:class:`~repro.store.network_centric.NetworkCentricMixin`), the DHT
   through its ring protocol (:mod:`repro.store.dht`).
 
-The built-in backends (``memory``, ``central``, ``dht``) are registered
+The built-in backends (``memory``, ``central``, ``durable``, ``dht``)
+are registered
 by :mod:`repro.store` at import time; see ``register_store`` for adding
 more.
 """

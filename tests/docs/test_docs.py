@@ -1,0 +1,41 @@
+"""The documentation gate, run as part of tier-1.
+
+Imports the checks from ``tools/check_docs.py`` (stdlib-only) so that a
+missing public docstring, a broken relative link in the checked markdown
+files, or a docs snippet quoting a CLI flag that does not exist fails
+the ordinary test suite — not just the dedicated CI docs job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docstring_coverage():
+    assert check_docs.check_docstrings() == []
+
+
+def test_markdown_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_cli_snippets_are_honest():
+    assert check_docs.check_cli_snippets() == []
+
+
+def test_gate_runs_as_a_script():
+    completed = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "all clean" in completed.stdout

@@ -163,6 +163,30 @@ def test_batched_delta_protocol_masks_wire_faults(seed):
     assert summary.retries >= 1
 
 
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_durable_restart_recovers_from_disk(tmp_path, seed):
+    """PR 9: a crash-restarted participant on the ``durable`` backend
+    rebuilds its soft state from the database *file* — persisted
+    decisions, persisted applied-set counters — and the decision stream
+    still matches the fault-free central baseline byte-for-byte, with a
+    page cache far smaller than the history."""
+    baseline = run_confederation("central", {}, seed)
+    plan = FaultPlan(
+        seed=seed,
+        restarts=(ParticipantRestart(participant=3, at_epoch=8),),
+    )
+    chaotic = run_confederation(
+        "durable",
+        {"path": str(tmp_path / f"chaos-{seed}.db"), "cache_size": 8},
+        seed,
+        faults=plan,
+    )
+    assert chaotic[0] == baseline[0]
+    assert chaotic[1] == baseline[1]
+    assert chaotic[2].state_ratio == baseline[2].state_ratio
+    assert chaotic[2].faults.recoveries == 1
+
+
 BLACK_HOLE = FaultPlan(
     seed=1,
     messages=(

@@ -5,7 +5,7 @@ entire state of the participant, up to his or her last reconciliation,
 from the update store."  A participant rebuilt via
 :meth:`Participant.rebuild` must match the live one: same instance, same
 decision sets, same open conflicts — and continue operating (publish,
-reconcile, resolve) seamlessly.  Verified over all three stores, and over
+reconcile, resolve) seamlessly.  Verified over all four stores, and over
 a central store closed and reopened from disk.
 """
 
@@ -15,7 +15,12 @@ import pytest
 
 from repro.cdss import CDSS, Participant, Simulation, SimulationConfig
 from repro.model import Insert
-from repro.store import CentralUpdateStore, DhtUpdateStore, MemoryUpdateStore
+from repro.store import (
+    CentralUpdateStore,
+    DhtUpdateStore,
+    DurableUpdateStore,
+    MemoryUpdateStore,
+)
 from repro.workload import WorkloadConfig, curated_schema
 
 
@@ -24,13 +29,15 @@ def build_store(kind, schema, path=None):
         return MemoryUpdateStore(schema)
     if kind == "central":
         return CentralUpdateStore(schema, path or ":memory:")
+    if kind == "durable":
+        return DurableUpdateStore(schema, path=path or ":memory:", cache_size=8)
     return DhtUpdateStore(schema, hosts=5)
 
 
-@pytest.mark.parametrize("kind", ["memory", "central", "dht"])
-def test_rebuilt_participant_matches_live(kind):
+@pytest.mark.parametrize("kind", ["memory", "central", "durable", "dht"])
+def test_rebuilt_participant_matches_live(kind, tmp_path):
     schema = curated_schema()
-    store = build_store(kind, schema)
+    store = build_store(kind, schema, path=str(tmp_path / "rebuild.db"))
     config = SimulationConfig(
         participants=4,
         reconciliation_interval=3,

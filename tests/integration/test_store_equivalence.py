@@ -1,9 +1,9 @@
-"""Observational equivalence of the three update stores.
+"""Observational equivalence of the four update stores.
 
 The same seeded workload, replayed through the memory, central-sqlite,
-and simulated-DHT stores, must leave every participant with an identical
-instance and identical decision bookkeeping — the stores may only differ
-in cost, never in outcome.
+durable-file, and simulated-DHT stores, must leave every participant
+with an identical instance and identical decision bookkeeping — the
+stores may only differ in cost and persistence, never in outcome.
 
 Since PR 3 this also pins the DHT's shipping parity: the DHT with
 store-derived context-free extensions (and the shared pair memo), the
@@ -18,7 +18,12 @@ import pytest
 
 from repro.cdss import Simulation, SimulationConfig
 from repro.confed import Confederation, ConfederationConfig, HookBus
-from repro.store import CentralUpdateStore, DhtUpdateStore, MemoryUpdateStore
+from repro.store import (
+    CentralUpdateStore,
+    DhtUpdateStore,
+    DurableUpdateStore,
+    MemoryUpdateStore,
+)
 from repro.workload import WorkloadConfig, curated_schema
 
 
@@ -28,6 +33,8 @@ def run_with(store_name: str, seed: int):
         store = MemoryUpdateStore(schema)
     elif store_name == "central":
         store = CentralUpdateStore(schema)
+    elif store_name == "durable":
+        store = DurableUpdateStore(schema, cache_size=8)
     else:
         store = DhtUpdateStore(schema, hosts=5)
     config = SimulationConfig(
@@ -56,10 +63,11 @@ def run_with(store_name: str, seed: int):
 def test_stores_produce_identical_outcomes(seed):
     memory = run_with("memory", seed)
     central = run_with("central", seed)
+    durable = run_with("durable", seed)
     dht = run_with("dht", seed)
-    assert memory[0] == central[0] == dht[0]  # instances
-    assert memory[1] == central[1] == dht[1]  # decisions
-    assert memory[2] == central[2] == dht[2]  # state ratio
+    assert memory[0] == central[0] == durable[0] == dht[0]  # instances
+    assert memory[1] == central[1] == durable[1] == dht[1]  # decisions
+    assert memory[2] == central[2] == durable[2] == dht[2]  # state ratio
 
 
 # ----------------------------------------------------------------------
@@ -117,10 +125,12 @@ def test_dht_shipping_decisions_byte_identical(seed):
 @pytest.mark.parametrize("seed", [7, 29])
 def test_equivalence_matrix_with_store_computed_batches(seed):
     """dht-store-computed / dht-shipped / dht-client-computed / central
-    (client- and store-computed) must emit byte-identical decision
-    streams: the store deriving a participant's extensions against its
-    applied set is only legal because it provably equals the client's
-    own computation."""
+    and durable (each client- and store-computed) must emit
+    byte-identical decision streams: the store deriving a participant's
+    extensions against its applied set is only legal because it provably
+    equals the client's own computation — and since PR 9, persisting the
+    history to a file with a tiny body page cache must not perturb a
+    single verdict either."""
     matrix = [
         run_with_decision_log("dht", {"hosts": 5}, seed, network_centric="store"),
         run_with_decision_log("dht", {"hosts": 5}, seed),
@@ -129,6 +139,10 @@ def test_equivalence_matrix_with_store_computed_batches(seed):
         ),
         run_with_decision_log("central", {}, seed),
         run_with_decision_log("central", {}, seed, network_centric="store"),
+        run_with_decision_log("durable", {"cache_size": 4}, seed),
+        run_with_decision_log(
+            "durable", {"cache_size": 4}, seed, network_centric="store"
+        ),
     ]
     reference = matrix[0]
     for other in matrix[1:]:

@@ -1,8 +1,9 @@
 """Contract tests every update store must satisfy.
 
-The three implementations (memory, sqlite central, simulated DHT) must be
-observationally identical at the :class:`~repro.store.base.UpdateStore`
-interface; each test in this module runs against all three.
+The four implementations (memory, sqlite central, durable file-backed,
+simulated DHT) must be observationally identical at the
+:class:`~repro.store.base.UpdateStore` interface; each test in this
+module runs against all four.
 """
 
 from __future__ import annotations
@@ -13,7 +14,12 @@ from repro.core.decisions import ReconcileResult
 from repro.errors import StoreError
 from repro.model import Insert, Modify, make_transaction
 from repro.policy import TrustPolicy
-from repro.store import CentralUpdateStore, DhtUpdateStore, MemoryUpdateStore
+from repro.store import (
+    CentralUpdateStore,
+    DhtUpdateStore,
+    DurableUpdateStore,
+    MemoryUpdateStore,
+)
 
 
 RAT1 = ("rat", "prot1", "cell-metab")
@@ -22,13 +28,18 @@ RAT1_RESP = ("rat", "prot1", "cell-resp")
 MOUSE2 = ("mouse", "prot2", "immune")
 
 
-@pytest.fixture(params=["memory", "central", "dht"])
-def store(request, schema):
+@pytest.fixture(params=["memory", "central", "durable", "dht"])
+def store(request, schema, tmp_path):
     if request.param == "memory":
         yield MemoryUpdateStore(schema)
     elif request.param == "central":
         with CentralUpdateStore(schema) as central:
             yield central
+    elif request.param == "durable":
+        with DurableUpdateStore(
+            schema, path=str(tmp_path / "contract.db"), cache_size=8
+        ) as durable:
+            yield durable
     else:
         yield DhtUpdateStore(schema, hosts=4)
 

@@ -1,0 +1,262 @@
+"""Durable-store behaviour: persistence, recovery, bounded paging.
+
+The durable backend's contract beyond the shared store interface:
+
+* the full history (bodies, epochs, verdicts, reconciliation records)
+  survives closing the store and reopening the same database file — a
+  whole confederation resumes via adopt-on-reopen + ``restore()``;
+* an *unclean* close (a publisher that died between ``begin_publish``
+  and ``finish_publish``) recovers on reopen: sqlite replays its WAL
+  and the dangling epoch is finished so the stable-epoch computation
+  is never blocked;
+* transaction bodies page through a bounded LRU — a tiny cache limit
+  changes residency and cost, never decisions;
+* retired shared-memo entries spill to disk and page back in
+  value-equal;
+* the threaded epoch scheduler drives it safely under the runtime
+  lock-discipline proxies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runtime import lock_discipline
+from repro.confed import Confederation, ConfederationConfig, HookBus
+from repro.core.cache import PageCache
+from repro.errors import StoreError
+from repro.model import Insert, Transaction, TransactionId
+from repro.policy import TrustPolicy
+from repro.store import DurableUpdateStore
+from repro.store.durable import _decode_extension, _encode_extension
+from repro.workload import WorkloadConfig, curated_schema
+
+SEED = 23
+PEERS = (1, 2, 3, 4)
+
+
+def evaluation_config(path, cache_size=8, **overrides):
+    base = dict(
+        store="durable",
+        store_options={"path": path, "cache_size": cache_size},
+        peers=PEERS,
+        reconciliation_interval=3,
+        rounds=3,
+        workload=WorkloadConfig(transaction_size=2, seed=SEED),
+    )
+    base.update(overrides)
+    return ConfederationConfig(**base)
+
+
+def run_with_decisions(config):
+    log = []
+    hooks = HookBus()
+    hooks.on_decision(
+        lambda **kw: log.append(
+            (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+        )
+    )
+    with Confederation(config, hooks=hooks) as confed:
+        report = confed.run()
+        snapshots = {p.id: p.instance.snapshot() for p in confed.participants}
+        store_stats = confed.store.page_cache_stats()
+        retired = confed.store.retired_extension_count()
+        decision_state = confed.snapshot()
+    return log, snapshots, report, store_stats, retired, decision_state
+
+
+# ----------------------------------------------------------------------
+# PageCache unit behaviour
+
+
+def test_page_cache_is_lru_and_bounded():
+    cache = PageCache(2)
+    cache.put(1, "a")
+    cache.put(2, "b")
+    assert cache.get(1) == "a"  # refreshes 1
+    cache.put(3, "c")  # evicts 2, the least recently used
+    assert cache.get(2) is None
+    assert cache.get(1) == "a"
+    assert cache.get(3) == "c"
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.peak_resident == 2
+
+
+def test_page_cache_rejects_useless_capacity():
+    with pytest.raises(ValueError):
+        PageCache(0)
+
+
+# ----------------------------------------------------------------------
+# Persistence: close, reopen, resume
+
+
+def test_whole_confederation_reopens_from_disk(tmp_path):
+    path = str(tmp_path / "store.db")
+    first = run_with_decisions(evaluation_config(path))
+    assert first[4] > 0  # retirement spilled entries to disk
+
+    # A brand-new process would do exactly this: same config, same file.
+    reopened_config = ConfederationConfig(
+        store="durable", store_options={"path": path, "cache_size": 8},
+        peers=PEERS,
+    )
+    with Confederation(reopened_config) as confed:
+        # Registration adopted the on-disk participants; restore()
+        # rebuilds every replica from the persisted decisions.
+        confed.restore()
+        assert confed.snapshot() == first[5]
+        assert {
+            p.id: p.instance.snapshot() for p in confed.participants
+        } == first[1]
+        # ... and the confederation keeps operating: sequence numbers
+        # resume past the persisted history, so no tid is ever reused.
+        publisher = confed.participant(1)
+        publisher.execute([Insert("F", ("zzz", "prot-new", "novel"), 1)])
+        result = publisher.publish_and_reconcile()
+        assert any(str(t) for t in result.accepted)
+
+
+def test_reopen_after_unclean_close_recovers(tmp_path):
+    path = str(tmp_path / "store.db")
+    schema = curated_schema()
+    store = DurableUpdateStore(schema, path=path)
+    store.register_participant(1, TrustPolicy())
+    store.register_participant(2, TrustPolicy().trust_participant(1, 1))
+    store.publish(
+        1, [Transaction(TransactionId(1, 0), (Insert("F", ("a", "b", "c"), 1),))]
+    )
+    # The publisher dies mid-publication: epoch begun, never finished.
+    dangling = store.begin_publish(1)
+    # Simulate the crash: abandon the connection without closing the
+    # store cleanly (the second connection below sees whatever sqlite
+    # made durable, exactly like a restarted process).
+    del store
+
+    reopened = DurableUpdateStore(schema, path=path)
+    reopened.register_participant(1, TrustPolicy())
+    reopened.register_participant(2, TrustPolicy().trust_participant(1, 1))
+    assert reopened.transaction_count() == 1
+    assert reopened.current_epoch() == dangling
+    # Recovery finished the dangling epoch, so the stable-epoch
+    # computation is not blocked: the committed transaction is delivered.
+    batch = reopened.begin_reconciliation(2)
+    assert [root.tid for root in batch.roots] == [TransactionId(1, 0)]
+    assert batch.recno >= dangling
+    reopened.close()
+
+
+def test_duplicate_in_process_registration_still_raises(tmp_path):
+    store = DurableUpdateStore(
+        curated_schema(), path=str(tmp_path / "store.db")
+    )
+    store.register_participant(1, TrustPolicy())
+    with pytest.raises(StoreError):
+        store.register_participant(1, TrustPolicy())
+    store.close()
+
+
+def test_applied_versions_persist_across_reopen(tmp_path):
+    path = str(tmp_path / "store.db")
+    first = run_with_decisions(evaluation_config(path))
+    assert first[0]  # decisions actually happened
+
+    reopened = DurableUpdateStore(curated_schema(), path=path)
+    # The version counters resumed from disk, not from zero: recovery is
+    # O(delta), not a full-history replay.
+    versions = dict(reopened._applied_versions)
+    assert versions
+    assert all(v > 0 for v in versions.values())
+    reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Bounded paging: a tiny cache changes cost, never outcomes
+
+
+def test_tiny_page_cache_keeps_decisions_byte_identical(tmp_path):
+    roomy = run_with_decisions(
+        evaluation_config(str(tmp_path / "roomy.db"), cache_size=4096)
+    )
+    tiny = run_with_decisions(
+        evaluation_config(str(tmp_path / "tiny.db"), cache_size=2)
+    )
+    assert tiny[0] == roomy[0]  # decision stream, order included
+    assert tiny[1] == roomy[1]  # final instances
+    assert tiny[2].state_ratio == roomy[2].state_ratio
+    # The tiny cache really was bounded — and really evicted.
+    assert tiny[3]["peak_resident"] <= 2
+    assert tiny[3]["evictions"] > 0
+    assert roomy[3]["evictions"] == 0
+
+
+# ----------------------------------------------------------------------
+# Spill-aware retention: retired memo entries live on disk
+
+
+def test_retired_extensions_spill_and_reload(tmp_path):
+    path = str(tmp_path / "store.db")
+    log, _snapshots, _report, _stats, retired, _state = run_with_decisions(
+        evaluation_config(path)
+    )
+    assert retired > 0
+
+    store = DurableUpdateStore(curated_schema(), path=path)
+    rows = store._conn.execute(
+        "SELECT participant, seq FROM retired_extensions ORDER BY participant, seq"
+    ).fetchall()
+    assert len(rows) == retired
+    for participant, seq in rows:
+        extension = store._load_retired(TransactionId(participant, seq))
+        assert extension is not None
+        assert extension.root == TransactionId(participant, seq)
+        # The codec round-trips exactly.
+        assert _decode_extension(_encode_extension(extension)) == extension
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Threaded scheduler under the runtime lock-discipline proxies
+
+
+def per_participant(log):
+    streams = {}
+    for event in log:
+        streams.setdefault(event[0], []).append(event)
+    return streams
+
+
+def run_threaded(path, instrument):
+    config = evaluation_config(path, schedule_mode="threaded")
+    log = []
+    hooks = HookBus()
+    hooks.on_decision(
+        lambda **kw: log.append(
+            (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+        )
+    )
+    with Confederation(config, hooks=hooks) as confed:
+        if instrument:
+            with lock_discipline(confed.store) as handle:
+                assert handle.wrapped  # containers really got guarded
+                confed.run()
+        else:
+            confed.run()
+        snapshots = {p.id: p.instance.snapshot() for p in confed.participants}
+    return log, snapshots
+
+
+def test_threaded_scheduler_under_lock_discipline(tmp_path):
+    """Concurrent reconcile phases against one sqlite connection, every
+    store touch owner-checked by the runtime proxies.
+
+    The threaded mode's determinism contract is per participant (the
+    global interleaving of workers' emissions is not pinned), so the
+    instrumented run must match the plain threaded run per participant
+    — the proxies and the shared connection perturb nothing.
+    """
+    plain = run_threaded(str(tmp_path / "plain.db"), instrument=False)
+    guarded = run_threaded(str(tmp_path / "guarded.db"), instrument=True)
+    assert per_participant(guarded[0]) == per_participant(plain[0])
+    assert guarded[1] == plain[1]

@@ -41,6 +41,7 @@ EXPECTED_ALL = {
     # Stores and the driver registry
     "CentralUpdateStore",
     "DhtUpdateStore",
+    "DurableUpdateStore",
     "MemoryUpdateStore",
     "StoreCapabilities",
     "UpdateStore",
@@ -110,7 +111,7 @@ def test_every_public_name_resolves():
 
 
 def test_builtin_registry_contents():
-    assert available_stores() == ["central", "dht", "memory"]
+    assert available_stores() == ["central", "dht", "durable", "memory"]
 
 
 def test_registry_capability_snapshot():
@@ -133,6 +134,14 @@ def test_registry_capability_snapshot():
         "ships_context_free": True,
         "shared_pair_memo": True,
         "durable": False,
+        "network_centric_batches": True,
+    }
+    # PR 9: the honest persistent backend — full history on a database
+    # file, bounded resident memory, crash recovery.
+    assert store_capabilities("durable").as_dict() == {
+        "ships_context_free": True,
+        "shared_pair_memo": True,
+        "durable": True,
         "network_centric_batches": True,
     }
 
