@@ -1,4 +1,4 @@
-"""Epoch-scheduler perf: threaded vs serial on a 16-peer confederation.
+"""Epoch-scheduler perf: threaded vs serial, async vs threaded.
 
 The serial schedule pays every store wait end to end: while one
 participant's messages cross the (simulated) wire, fifteen others sit
@@ -8,14 +8,30 @@ slept *outside* it (``real_latency=True`` makes the paper's injected
 delays real instead of merely accounted; see
 :meth:`repro.store.base.UpdateStore.pay_latency`).
 
-Decisions are unaffected by sleeping, so the pin is pure wall clock:
-the threaded schedule must beat the serial one by a clear margin on the
-same seeded 16-peer workload.
+What the threaded scheduler cannot overlap is its own *publish
+barrier*: epoch allocation order is the determinism anchor, so the
+publishes run one after another — at high peer counts and high
+latency the barrier is the run.  The PR 10 async scheduler pipelines
+it: each participant's lock-held store phase still executes in
+ascending id order on the single event loop, but the latency debt is
+awaited afterwards, overlapping participant *i*'s wait with
+participant *i+1*'s allocation.  The second benchmark point prices
+exactly that regime — 64 peers, 4 ms per message — and pins the
+pipelined schedule at a fraction of the threaded wall clock.
+
+Decisions are unaffected by sleeping, so both pins are pure wall
+clock on identical schedule volume.  The async point is emitted as
+``BENCH_scheduler.json`` at the repository root, gated by
+``benchmarks/check_regression.py`` against
+``benchmarks/BENCH_baseline.json`` and uploaded as a CI artifact.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 import time
+from pathlib import Path
 
 from repro.confed import Confederation, ConfederationConfig
 from repro.workload import WorkloadConfig
@@ -32,12 +48,24 @@ LATENCY = 0.002
 #: wall clock (conservative: the expected ratio is well under 0.7).
 WALL_CLOCK_CEILING = 0.85
 
+#: The pipelining point: enough peers that the serialized publish
+#: barrier dominates, and wide-area latency per message.
+PEERS_LARGE = 64
+LATENCY_LARGE = 0.004
+#: The async schedule must run in at most this fraction of the threaded
+#: wall clock on the 64-peer point (conservative: expected well under
+#: 0.5 — the barrier is ~64 sequential latency payments per round for
+#: the threaded schedule and ~1 for the pipelined one).
+ASYNC_WALL_CLOCK_CEILING = 0.85
 
-def _run(schedule_mode: str):
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+
+def _run(schedule_mode: str, peers: int = PEERS, latency: float = LATENCY):
     config = ConfederationConfig(
         store="memory",
-        store_options={"message_latency": LATENCY, "real_latency": True},
-        peers=tuple(range(1, PEERS + 1)),
+        store_options={"message_latency": latency, "real_latency": True},
+        peers=tuple(range(1, peers + 1)),
         reconciliation_interval=INTERVAL,
         rounds=ROUNDS,
         final_reconcile=True,
@@ -71,4 +99,61 @@ def test_threaded_scheduler_beats_serial_wall_clock():
     assert ratio <= WALL_CLOCK_CEILING, (
         f"threaded schedule took {ratio:.2f}x the serial wall clock "
         f"(ceiling {WALL_CLOCK_CEILING})"
+    )
+
+
+def test_async_scheduler_pipelines_the_publish_barrier(benchmark):
+    threaded_wall, threaded_report = _run(
+        "threaded", peers=PEERS_LARGE, latency=LATENCY_LARGE
+    )
+    async_wall, async_report = benchmark.pedantic(
+        lambda: _run("async", peers=PEERS_LARGE, latency=LATENCY_LARGE),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = async_wall / threaded_wall
+    speedup = threaded_wall / async_wall
+
+    emit(
+        f"Epoch scheduler — {PEERS_LARGE} peers, memory store with real "
+        f"{LATENCY_LARGE * 1000:.0f} ms/message latency:\n"
+        f"  threaded : {threaded_wall:7.3f} s wall\n"
+        f"  async    : {async_wall:7.3f} s wall\n"
+        f"  ratio    : {ratio:7.2f} (ceiling {ASYNC_WALL_CLOCK_CEILING}, "
+        f"speedup {speedup:.2f}x)"
+    )
+
+    point = {
+        "schema_version": 1,
+        "benchmark": "epoch_scheduler",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "config": {
+            "peers": PEERS_LARGE,
+            "interval": INTERVAL,
+            "rounds": ROUNDS,
+            "seed": 91,
+            "store": "memory",
+            "message_latency": LATENCY_LARGE,
+        },
+        "threaded_wall_seconds": threaded_wall,
+        "async_wall_seconds": async_wall,
+        "async_vs_threaded_ratio": ratio,
+        "speedup": speedup,
+        "transactions_published": async_report.transactions_published,
+        "state_ratio": async_report.state_ratio,
+        "budgets_note": "async_vs_threaded_ratio budget lives in the baseline",
+    }
+    _BENCH_JSON.write_text(json.dumps(point, indent=2) + "\n")
+    benchmark.extra_info.update(point)
+
+    # Same schedule volume either way; only the wall clock may differ.
+    assert (
+        async_report.transactions_published
+        == threaded_report.transactions_published
+    )
+    assert async_report.scheduler == "async"
+    assert ratio <= ASYNC_WALL_CLOCK_CEILING, (
+        f"async schedule took {ratio:.2f}x the threaded wall clock "
+        f"(ceiling {ASYNC_WALL_CLOCK_CEILING})"
     )

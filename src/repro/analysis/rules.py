@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RPR001``–``RPR009``).
+"""The repo-specific lint rules (``RPR001``–``RPR010``).
 
 Each rule encodes one invariant of the verification spine — the
 properties the store-equivalence matrix and the chaos suite rely on but
@@ -25,6 +25,10 @@ RPR008   ``@dataclass`` classes with ``to_dict``/``from_dict`` keep the
 RPR009   Message kinds passed to ``Network.send`` and handled by
          ``_on_<kind>`` methods come from the module-level ``KINDS``
          registry — a typo'd kind silently burns the retry budget.
+RPR010   No direct ``time.sleep`` outside the
+         :class:`~repro.net.clock.LatencyClock` implementations
+         (``net/clock.py``) — a blocking sleep on the async schedule
+         stalls the whole event loop; pay latency through the clock.
 =======  ==============================================================
 
 Rules deliberately prefer *precision* over recall: each one flags only
@@ -717,6 +721,50 @@ class KindsRegistryRule(Rule):
                 )
 
 
+class BlockingSleepRule(Rule):
+    """RPR010: latency is paid through a LatencyClock, never slept."""
+
+    code = "RPR010"
+    name = "blocking-sleep-outside-clock"
+    summary = (
+        "direct time.sleep outside the LatencyClock implementations — "
+        "a blocking sleep stalls the async scheduler's event loop; pay "
+        "latency through the store's clock (pay_latency)"
+    )
+
+    def applies(self, context: ModuleContext) -> bool:
+        """Everywhere except the clocks' own module, net/clock.py."""
+        return not context.in_module("net/clock.py")
+
+    def check(self, tree: ast.Module, context: ModuleContext) -> Iterator[Finding]:
+        """Flag ``time.sleep(...)`` calls and ``from time import sleep``."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                if any(alias.name == "sleep" for alias in node.names):
+                    yield super().finding(
+                        context,
+                        node,
+                        "importing sleep from time invites blocking waits "
+                        "outside the LatencyClock seam; pay latency "
+                        "through the store's clock instead",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sleep"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                yield super().finding(
+                    context,
+                    node,
+                    "time.sleep() outside net/clock.py blocks the calling "
+                    "thread — under the async schedule that stalls the "
+                    "whole event loop; charge the latency to PerfCounters "
+                    "and pay it through the store's LatencyClock",
+                )
+
+
 def default_rules() -> List[Rule]:
     """One instance of every shipped rule, in code order."""
     return [
@@ -729,6 +777,7 @@ def default_rules() -> List[Rule]:
         SetIterationRule(),
         DictRoundTripRule(),
         KindsRegistryRule(),
+        BlockingSleepRule(),
     ]
 
 

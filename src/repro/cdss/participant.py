@@ -267,40 +267,55 @@ class Participant:
     # Publication and reconciliation
 
     def _store_call(self, method, *args) -> Tuple[object, PerfCounters, float]:
-        """Run one store call under the store lock; returns
-        ``(result, perf delta, wall seconds inside the call)``.
+        """Run one store call: a lock-held store phase, then a
+        clock-paid latency phase; returns ``(result, perf delta, wall
+        seconds inside the call)``.
 
-        The lock serializes store access when the threaded epoch
-        scheduler drives several participants concurrently (stores are
-        not internally thread-safe); the perf snapshot/delta must happen
-        inside it so concurrent callers cannot misattribute each other's
-        charges.  The wall clock starts *after* the lock is acquired —
-        contention wait is scheduling, not store cost, and counting it
-        would inflate every participant's store bars under the threaded
-        schedule.  Any configured real latency is paid through
-        ``store.pay_latency`` after the lock is released, so concurrent
-        sessions wait in parallel — ``pay_latency`` is part of the
-        :class:`~repro.store.base.UpdateStore` contract (it used to be
-        reached through ``getattr``, which let a third-party driver
-        missing the method skip latency payment silently).  Stores
-        without the ``lock`` attribute (minimal test doubles that are
-        not real :class:`UpdateStore`\\ s) are called directly and
-        charge nothing, so there is nothing to pay.
+        The two phases are deliberately split.  The **store phase**
+        (:meth:`_store_phase`) holds the store lock and snapshots the
+        perf delta.  The **latency phase** pays that delta through
+        ``store.pay_latency`` *after* the lock is released, so
+        concurrent sessions wait in parallel — and, because the payment
+        goes through the store's :class:`~repro.net.clock.LatencyClock`
+        rather than an inline sleep, the asyncio epoch scheduler can
+        turn the wait into an awaited ``asyncio.sleep`` without ever
+        holding ``store.lock`` across an await.  ``pay_latency`` is
+        part of the :class:`~repro.store.base.UpdateStore` contract (it
+        used to be reached through ``getattr``, which let a third-party
+        driver missing the method skip latency payment silently).
+        Stores without the ``lock`` attribute (minimal test doubles
+        that are not real :class:`UpdateStore`\\ s) are called directly
+        and charge nothing, so there is nothing to pay.
         """
         store = self.store
-        lock = getattr(store, "lock", None)
-        if lock is None:
+        if getattr(store, "lock", None) is None:
             started = time.perf_counter()
             result = method(*args)
             return result, PerfCounters(), time.perf_counter() - started
-        with lock:
+        result, delta, elapsed = self._store_phase(method, *args)
+        store.pay_latency(delta.simulated_seconds)
+        return result, delta, elapsed
+
+    def _store_phase(self, method, *args) -> Tuple[object, PerfCounters, float]:
+        """The lock-held half of :meth:`_store_call`.
+
+        Serializes store access when a concurrent epoch scheduler
+        drives several participants at once (stores are not internally
+        thread-safe); the perf snapshot/delta must happen inside the
+        lock so concurrent callers cannot misattribute each other's
+        charges.  The wall clock starts *after* the lock is acquired —
+        contention wait is scheduling, not store cost, and counting it
+        would inflate every participant's store bars under a concurrent
+        schedule.  No latency is paid here: that is the caller's
+        latency phase, outside the lock.
+        """
+        store = self.store
+        with store.lock:
             started = time.perf_counter()
             before = store.perf.snapshot()
             result = method(*args)
             delta = store.perf.minus(before)
-        elapsed = time.perf_counter() - started
-        store.pay_latency(delta.simulated_seconds)
-        return result, delta, elapsed
+        return result, delta, time.perf_counter() - started
 
     def publish(self) -> int:
         """Publish all unpublished transactions; returns the epoch."""

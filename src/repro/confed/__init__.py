@@ -18,7 +18,8 @@ This is the public entry point for building and running a CDSS:
 * :mod:`~repro.confed.scheduler` — the pluggable epoch schedulers
   ``run()`` executes the schedule through
   (:class:`~repro.confed.scheduler.SerialScheduler` /
-  :class:`~repro.confed.scheduler.ThreadedScheduler`, selected by
+  :class:`~repro.confed.scheduler.ThreadedScheduler` /
+  :class:`~repro.confed.scheduler.AsyncScheduler`, selected by
   ``config.schedule_mode``).
 
 The legacy ``repro.cdss.CDSS`` / ``repro.cdss.Simulation`` entry points
@@ -36,6 +37,7 @@ from repro.confed.faults import FaultController
 from repro.confed.hooks import EVENTS, HookBus
 from repro.confed.report import ConfederationReport
 from repro.confed.scheduler import (
+    AsyncScheduler,
     EpochScheduler,
     SerialScheduler,
     ThreadedScheduler,
@@ -43,6 +45,7 @@ from repro.confed.scheduler import (
 )
 
 __all__ = [
+    "AsyncScheduler",
     "Confederation",
     "ConfederationConfig",
     "ConfederationReport",

@@ -442,6 +442,7 @@ class Confederation:
             },
             transactions_published=self._transactions_published,
             store_messages=self.store.perf.messages,
+            scheduler=self.config.schedule_mode,
             # A snapshot, not the live collector: a report's counters
             # must not mutate when the confederation keeps running.
             cache_stats=self._cache_stats.total.snapshot(),

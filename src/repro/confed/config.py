@@ -31,7 +31,7 @@ NETWORK_CENTRIC_MODES: Tuple[object, ...] = (False, True, "client", "store")
 
 #: Epoch-scheduler modes :meth:`repro.confed.Confederation.run` can use
 #: (see :mod:`repro.confed.scheduler`).
-SCHEDULE_MODES: Tuple[str, ...] = ("serial", "threaded")
+SCHEDULE_MODES: Tuple[str, ...] = ("serial", "threaded", "async")
 
 
 @dataclass
@@ -61,11 +61,15 @@ class ConfederationConfig:
       ``final_reconcile`` — the evaluation schedule
       :meth:`repro.confed.Confederation.run` executes;
     * ``schedule_mode`` / ``schedule_workers`` — which epoch scheduler
-      executes it: ``"serial"`` (the paper's strict round-robin) or
+      executes it: ``"serial"`` (the paper's strict round-robin),
       ``"threaded"`` (independent participants' edit and reconcile
-      phases run concurrently between deterministic publish-order
-      barriers; ``schedule_workers`` caps the pool, None sizes it from
-      the peer count and CPU count).  See
+      phases run concurrently on a thread pool between deterministic
+      publish-order barriers; ``schedule_workers`` caps the pool, None
+      sizes it from the peer count), or ``"async"`` (participants run
+      as asyncio tasks on one event loop, injected latency is awaited
+      through the store's :class:`~repro.net.clock.AsyncLatencyClock`,
+      and the publish barrier pipelines; ``schedule_workers`` caps the
+      in-flight tasks, None lets every participant be in flight).  See
       :mod:`repro.confed.scheduler`;
     * ``faults`` — an optional :class:`repro.net.faults.FaultPlan`: the
       seeded, declarative chaos schedule the run should suffer (host

@@ -32,6 +32,11 @@ class ConfederationReport:
     timings: Dict[int, TimingAggregate]
     transactions_published: int
     store_messages: int
+    #: Which epoch scheduler identity produced the run (a
+    #: ``schedule_mode`` name: ``"serial"``, ``"threaded"`` or
+    #: ``"async"``).  Decision streams are only comparable between
+    #: runs of the same schedule, so a report names its own.
+    scheduler: str = "serial"
     #: Engine cache counters summed over all participants.
     cache_stats: CacheStats = field(default_factory=CacheStats)
     #: Fault activity of the run: injected faults by action, store

@@ -31,24 +31,44 @@ strategy object selected from
   round every participant sees every other's publications of that round
   (under the serial schedule, participant 1 reconciles before
   participant 2 publishes).  Reports and decisions are reproducible for
-  a given mode; the two modes are distinct, equally valid schedules.
+  a given mode; the modes are distinct, equally valid schedules.
+* :class:`AsyncScheduler` (``"async"``) — the same three-phase round
+  as the threaded mode, but participants run as asyncio *tasks* on one
+  event loop instead of pool threads.  The store's latency clock is
+  swapped for an :class:`~repro.net.clock.AsyncLatencyClock` for the
+  duration of the run, so injected latency *accrues* to a task while
+  its synchronous segment runs and is then awaited — which pipelines
+  the publish barrier: epochs are still allocated strictly in
+  ascending participant id (tasks start in creation order and the
+  lock-held allocation runs synchronously to the first await), but
+  participant *i+1* allocates its epoch while participant *i*'s
+  latency awaits.  The threaded barrier, by contrast, is serial in
+  wall time.  Publish order and per-participant RNG substreams are
+  identical to the threaded schedule, so per-participant decision
+  streams are byte-identical between the two modes — and because one
+  event loop interleaves whole synchronous segments deterministically,
+  the async mode's *global* stream is reproducible as well.
 
 Wall-clock wins come from overlapping whatever does not hold the store
 lock: the GIL-free portions of local work (sqlite instances release it)
 and, chiefly, store latency — with a ``real_latency`` store the injected
-per-message delays are slept outside the lock, and the threaded
-scheduler overlaps different participants' waits exactly as concurrent
-clients of a real networked store would
-(``benchmarks/test_perf_scheduler.py`` pins the win on a 16-peer run).
+per-message delays are paid outside the lock, and the threaded and
+async schedulers overlap different participants' waits exactly as
+concurrent clients of a real networked store would
+(``benchmarks/test_perf_scheduler.py`` pins the threaded win on a
+16-peer run and the async-over-threaded win on a 64-peer high-latency
+run, where the pipelined barrier dominates).
 """
 
 from __future__ import annotations
 
 import abc
+import asyncio
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
 from repro.errors import ConfigError, SchedulerError
+from repro.net.clock import AsyncLatencyClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.cdss.participant import Participant
@@ -218,12 +238,160 @@ class ThreadedScheduler(EpochScheduler):
                 )
 
 
+class AsyncScheduler(EpochScheduler):
+    """Pipelined epochs: participants as tasks on one event loop.
+
+    Structurally the threaded schedule — parallel edit, deterministic
+    publish-order barrier, parallel reconcile, fail-fast
+    :class:`~repro.errors.SchedulerError` before the barrier — but the
+    concurrency primitive is an asyncio task, and injected latency is
+    awaited through an :class:`~repro.net.clock.AsyncLatencyClock`
+    instead of blocking a pool thread.  Everything synchronous (store
+    calls under the lock, session compute, ``HookBus.emit``) runs on
+    the single loop thread, so within a phase whole segments interleave
+    deterministically in task order; only the latency waits overlap.
+    """
+
+    name = "async"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        """``workers`` caps the in-flight tasks per phase;
+        ``None`` lets every participant be in flight at once (tasks are
+        cheap — the cap exists for stores where even *queued* work has
+        a footprint).
+
+        A non-positive count is a configuration error, exactly as for
+        :class:`ThreadedScheduler`."""
+        if workers is not None and workers < 1:
+            raise ConfigError(
+                f"AsyncScheduler needs at least one in-flight task, "
+                f"got {workers}"
+            )
+        self._workers = workers
+
+    async def _parallel_phase(
+        self,
+        participants: List["Participant"],
+        work: Callable[["Participant"], object],
+        phase: str,
+        clock: AsyncLatencyClock,
+        limit: int,
+    ) -> List[object]:
+        """Run one phase as tasks, failing fast like the threaded pool.
+
+        Tasks are created in ascending participant id and the event
+        loop starts them in creation order (``call_soon`` is FIFO; the
+        semaphore grants waiters FIFO too), so each participant's
+        lock-held synchronous segment runs in a deterministic global
+        order — this is what makes the *publish* phase a deterministic
+        barrier without serializing its latency: participant *i* hits
+        ``clock.drain()`` and awaits while participant *i+1* allocates
+        its epoch.  On a failure the pending tasks are cancelled
+        (started segments always run to their await point — synchronous
+        code cannot be interrupted mid-segment) and the phase aborts
+        with a :class:`SchedulerError` naming the lowest-id failing
+        participant, matching the threaded scheduler.
+        """
+        semaphore = asyncio.Semaphore(limit)
+
+        async def step(participant: "Participant") -> object:
+            """One participant's phase: sync segment, then the debt."""
+            async with semaphore:
+                result = work(participant)
+                await clock.drain()
+                return result
+
+        tasks = [asyncio.create_task(step(p)) for p in participants]
+        done, pending = await asyncio.wait(
+            tasks, return_when=asyncio.FIRST_EXCEPTION
+        )
+        failures = [
+            (participant, task.exception())
+            for participant, task in zip(participants, tasks)
+            if task in done and task.exception() is not None
+        ]
+        if failures:
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+            participant, error = min(failures, key=lambda pair: pair[0].id)
+            raise SchedulerError(
+                f"{phase} phase failed for participant {participant.id}: "
+                f"{error}"
+            ) from error
+        return [task.result() for task in tasks]
+
+    async def _run(self, confederation: "Confederation") -> None:
+        """The schedule, inside the event loop ``run`` owns."""
+        config = confederation.config
+        store = confederation.store
+        clock = AsyncLatencyClock()
+        # Swap the store's latency clock for the run: payments accrue
+        # to the paying task instead of blocking the loop.  (Minimal
+        # test doubles without a clock attribute pay nothing anyway.)
+        previous = getattr(store, "clock", None)
+        if previous is not None:
+            store.clock = clock
+        try:
+            for round_index in range(config.rounds):
+                # Re-read the roster every round: a fault-plan restart
+                # replaces a participant object, and tasks must drive
+                # the rebuilt one, not a stale reference.
+                participants = confederation.participants
+                limit = self._workers or max(1, len(participants))
+                counts: List[int] = await self._parallel_phase(
+                    participants,
+                    lambda p: self.edit_phase(confederation, p),
+                    "edit",
+                    clock,
+                    limit,
+                )
+                # Deterministic publish-order barrier, pipelined:
+                # epochs allocated in ascending participant id, while
+                # earlier participants' latency awaits overlap later
+                # allocations (see _parallel_phase).
+                await self._parallel_phase(
+                    participants, lambda p: p.publish(), "publish", clock, limit
+                )
+                await self._parallel_phase(
+                    participants, lambda p: p.reconcile(), "reconcile",
+                    clock, limit,
+                )
+                for participant, published in zip(participants, counts):
+                    confederation.finish_scheduled_epoch(
+                        participant, round_index, published
+                    )
+                # Epoch-end work (fault-plan restarts rebuild replicas
+                # through the store) charges latency to *this* task.
+                await clock.drain()
+            if config.final_reconcile:
+                participants = confederation.participants
+                await self._parallel_phase(
+                    participants,
+                    lambda p: p.reconcile(),
+                    "reconcile",
+                    clock,
+                    self._workers or max(1, len(participants)),
+                )
+        finally:
+            if previous is not None:
+                store.clock = previous
+
+    def run(self, confederation: "Confederation") -> None:
+        """Drive the pipelined schedule on a fresh event loop."""
+        if not confederation.participants:
+            return
+        asyncio.run(self._run(confederation))
+
+
 #: Mode name → scheduler class.  ``ConfederationConfig.SCHEDULE_MODES``
 #: must name exactly these keys; ``tests/confed/test_scheduler.py`` pins
 #: the two in sync.
 SCHEDULERS: Dict[str, Type[EpochScheduler]] = {
     SerialScheduler.name: SerialScheduler,
     ThreadedScheduler.name: ThreadedScheduler,
+    AsyncScheduler.name: AsyncScheduler,
 }
 
 
@@ -235,6 +403,6 @@ def create_scheduler(config: "ConfederationConfig") -> EpochScheduler:
             f"unknown schedule mode {config.schedule_mode!r}; "
             f"available: {', '.join(sorted(SCHEDULERS))}"
         )
-    if scheduler_cls is ThreadedScheduler:
-        return ThreadedScheduler(workers=config.schedule_workers)
+    if scheduler_cls in (ThreadedScheduler, AsyncScheduler):
+        return scheduler_cls(workers=config.schedule_workers)
     return scheduler_cls()

@@ -24,7 +24,7 @@ from repro.model.flatten import flatten
 from repro.model.schema import Schema
 from repro.model.transactions import TransactionId
 from repro.model.tuples import QualifiedKey
-from repro.model.updates import Delete, Insert, Update, updates_conflict
+from repro.model.updates import Delete, Insert, Modify, Update, updates_conflict
 
 from repro.core.cache import CacheStats, ConflictCache
 from repro.core.extensions import TransactionGraph, UpdateExtension, update_footprint
@@ -447,8 +447,9 @@ def _effect_at_key(
 ) -> Optional[Tuple]:
     """What an extension leaves at ``key``: the written row or None.
 
-    Used to decide whether two deferred transactions belong to the same
-    option (they "make the same modification to the key value").
+    This is the ``effect`` surfaced on :class:`Option` for resolution
+    UIs.  It is *not* sufficient to decide option sharing — see
+    :func:`_option_signature`.
     """
     for update in extension.operations:
         written = update.written_row()
@@ -457,6 +458,40 @@ def _effect_at_key(
             if (update.relation, rel.key_of(written)) == key:
                 return written
     return None
+
+
+def _option_signature(
+    schema: Schema, extension: UpdateExtension, key: QualifiedKey
+) -> Tuple:
+    """The partition signature for option sharing at ``key``.
+
+    Two deferred transactions may share an option only when they "make
+    the same modification to the key value".  The written row alone is
+    not enough: every absence would collapse to ``None``, merging e.g.
+    deletions of *different row versions* of the key — which are
+    mutually conflicting (only one antecedent exists, so at most one
+    can be accepted) — into a single option, leaving a "conflict group"
+    with no alternatives to choose between.  The signature therefore
+    records the written row, or exactly which row the extension removes
+    from the key (and, for a replacement moving the row away, where it
+    goes).
+    """
+    for update in extension.operations:
+        written = update.written_row()
+        if written is not None:
+            rel = schema.relation(update.relation)
+            if (update.relation, rel.key_of(written)) == key:
+                return ("write", written)
+    for update in extension.operations:
+        if isinstance(update, Delete):
+            rel = schema.relation(update.relation)
+            if (update.relation, rel.key_of(update.row)) == key:
+                return ("delete", update.row)
+        elif isinstance(update, Modify):
+            rel = schema.relation(update.relation)
+            if (update.relation, rel.key_of(update.old_row)) == key:
+                return ("replace", update.old_row, update.new_row)
+    return ("none",)
 
 
 def build_conflict_groups(
@@ -469,8 +504,9 @@ def build_conflict_groups(
     """The grouping step of ``UpdateSoftState`` (Figure 5, lines 7-16).
 
     Finds conflicts among the deferred extensions, groups them by
-    ``(type, key)``, and combines compatible transactions (same effect at
-    the key) into shared options.  The conflict *points* recorded by
+    ``(type, key)``, and combines compatible transactions (same
+    modification at the key — see :func:`_option_signature`) into shared
+    options.  The conflict *points* recorded by
     :func:`find_conflicts` are consumed directly — the seed implementation
     re-ran :func:`direct_conflict_points` for every adjacent pair here.
     ``analysis`` lets a caller that already analysed (a superset of) the
@@ -485,14 +521,17 @@ def build_conflict_groups(
 
     groups: Dict[Tuple[str, QualifiedKey], ConflictGroup] = {}
     for (kind, key), tids in members.items():
-        by_effect: Dict[object, List[TransactionId]] = {}
+        by_signature: Dict[Tuple, List[TransactionId]] = {}
         for tid in sorted(tids):
-            effect = _effect_at_key(schema, deferred[tid], key)
-            by_effect.setdefault(effect, []).append(tid)
+            signature = _option_signature(schema, deferred[tid], key)
+            by_signature.setdefault(signature, []).append(tid)
         options = [
-            Option(transactions=tuple(tids_for_effect), effect=effect)
-            for effect, tids_for_effect in sorted(
-                by_effect.items(), key=lambda item: repr(item[0])
+            Option(
+                transactions=tuple(tids_for_signature),
+                effect=signature[1] if signature[0] == "write" else None,
+            )
+            for signature, tids_for_signature in sorted(
+                by_signature.items(), key=lambda item: repr(item[0])
             )
         ]
         groups[(kind, key)] = ConflictGroup(kind=kind, key=key, options=options)

@@ -15,9 +15,19 @@ count.  This package reproduces that regime deterministically:
 * :class:`repro.net.faults.FaultPlan` /
   :class:`repro.net.faults.FaultInjector` — declarative, seeded fault
   schedules (message drops, duplicates, latency spikes, host crashes,
-  participant restarts) and the deterministic simnet-side executor.
+  participant restarts) and the deterministic simnet-side executor;
+* :class:`repro.net.clock.LatencyClock` — the seam between charged
+  (simulated) latency and wall time:
+  :class:`~repro.net.clock.BlockingLatencyClock` blocks the calling
+  thread, :class:`~repro.net.clock.AsyncLatencyClock` accrues debt per
+  asyncio task for the pipelined epoch scheduler to await.
 """
 
+from repro.net.clock import (
+    AsyncLatencyClock,
+    BlockingLatencyClock,
+    LatencyClock,
+)
 from repro.net.faults import (
     FaultInjector,
     FaultPlan,
@@ -29,10 +39,13 @@ from repro.net.ring import HashRing
 from repro.net.simnet import Message, Network, Node
 
 __all__ = [
+    "AsyncLatencyClock",
+    "BlockingLatencyClock",
     "FaultInjector",
     "FaultPlan",
     "HashRing",
     "HostCrash",
+    "LatencyClock",
     "Message",
     "MessageFault",
     "Network",

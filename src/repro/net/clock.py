@@ -1,0 +1,103 @@
+"""Latency clocks: the seam between simulated latency and wall time.
+
+Stores *charge* injected per-message latency to their
+:class:`~repro.store.base.PerfCounters` — that ledger is always
+simulated time.  Whether the charge is also *paid* in wall time (the
+paper's experiments injected the delays for real) is a separate
+decision, and this module owns it: every payment in the tree goes
+through a :class:`LatencyClock`, never through an inline ``time.sleep``
+(rule RPR010 pins this — a stray blocking sleep on the async schedule
+would stall the whole event loop).
+
+Two implementations:
+
+* :class:`BlockingLatencyClock` — the default on every store: pay by
+  blocking the calling thread.  Under the threaded epoch scheduler,
+  concurrent workers block *in parallel*, exactly like clients of a
+  real networked store.
+* :class:`AsyncLatencyClock` — installed by the asyncio epoch scheduler
+  for the duration of a run: a payment made inside a task *accrues* to
+  that task's debt instead of blocking, and the scheduler awaits
+  :meth:`AsyncLatencyClock.drain` between a participant's synchronous
+  segments.  Coalescing a segment's payments into one
+  ``asyncio.sleep`` is wall-time equivalent (nothing yields between
+  them anyway) and is what lets participant *i+1* allocate its epoch
+  under the store lock while participant *i*'s latency awaits.
+
+The store-side entry point is
+:meth:`repro.store.base.UpdateStore.pay_latency`, which consults the
+store's ``real_latency`` flag and delegates the actual wait to the
+store's ``clock`` attribute.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import time
+from typing import Dict
+
+
+class LatencyClock(abc.ABC):
+    """How charged simulated latency is converted into wall time."""
+
+    @abc.abstractmethod
+    def pay(self, seconds: float) -> None:
+        """Pay ``seconds`` of injected latency (caller gates ``> 0``)."""
+
+
+class BlockingLatencyClock(LatencyClock):
+    """Pay latency by blocking the calling thread (the default)."""
+
+    def pay(self, seconds: float) -> None:
+        """Block for ``seconds``.
+
+        This is the one sanctioned blocking sleep in the tree: every
+        other module pays latency through a :class:`LatencyClock`, and
+        rule RPR010 flags any direct ``time.sleep`` elsewhere.
+        """
+        time.sleep(seconds)
+
+
+class AsyncLatencyClock(LatencyClock):
+    """Accrue latency per task; an async scheduler awaits the debt.
+
+    :meth:`pay` never blocks when called from inside a running asyncio
+    task: the seconds are added to that task's outstanding debt, and
+    the scheduler awaits :meth:`drain` once the task's synchronous
+    segment is over — turning the wait into an ``asyncio.sleep`` that
+    yields the event loop to other participants.  Called with no
+    running task (a store used standalone while this clock happens to
+    be installed), it degrades to the blocking behaviour so latency is
+    never silently dropped.
+    """
+
+    def __init__(self) -> None:
+        """Start with no outstanding debt and nothing paid."""
+        self._debts: Dict["asyncio.Task", float] = {}
+        #: Total seconds actually awaited through :meth:`drain`.
+        self.total_paid = 0.0
+
+    def pay(self, seconds: float) -> None:
+        """Accrue ``seconds`` to the current task's outstanding debt."""
+        try:
+            task = asyncio.current_task()
+        except RuntimeError:
+            task = None
+        if task is None:
+            time.sleep(seconds)
+            return
+        self._debts[task] = self._debts.get(task, 0.0) + seconds
+
+    @property
+    def outstanding(self) -> float:
+        """Accrued seconds not yet drained, across all tasks."""
+        return sum(self._debts.values())
+
+    async def drain(self) -> None:
+        """Await the calling task's accrued debt (no-op when zero)."""
+        task = asyncio.current_task()
+        debt = self._debts.pop(task, 0.0)
+        if debt > 0:
+            self.total_paid += debt
+            await asyncio.sleep(debt)

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import abc
 import threading
-import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -51,6 +50,7 @@ from repro.core.decisions import ReconcileResult
 from repro.core.extensions import ReconciliationBatch
 from repro.model.schema import Schema
 from repro.model.transactions import Transaction, TransactionId
+from repro.net.clock import BlockingLatencyClock, LatencyClock
 from repro.policy.acceptance import TrustPolicy
 from repro.store.registry import StoreCapabilities
 
@@ -103,14 +103,23 @@ class UpdateStore(abc.ABC):
         real_latency: bool = False,
     ) -> None:
         """``real_latency=True`` makes the injected per-message delay
-        *real*: after a store call, the transport sleeps the simulated
+        *real*: after a store call, the transport pays the simulated
         seconds the call charged (the paper's experiments injected these
-        delays for real; by default we only account them).  The sleep
-        happens in :meth:`pay_latency`, outside the store ``lock``, so a
-        threaded schedule overlaps different participants' waits."""
+        delays for real; by default we only account them).  The wait
+        happens in :meth:`pay_latency`, outside the store ``lock``, and
+        is delegated to the store's :attr:`clock` — blocking by
+        default, so a threaded schedule overlaps different
+        participants' waits; the asyncio scheduler swaps in an
+        awaitable clock for the duration of a run."""
         self._schema = schema
         self._message_latency = message_latency
         self._real_latency = real_latency
+        #: How charged latency is paid in wall time (see
+        #: :mod:`repro.net.clock`).  The asyncio epoch scheduler swaps
+        #: this for an :class:`~repro.net.clock.AsyncLatencyClock`
+        #: while it runs, so payments accrue to tasks instead of
+        #: blocking the event loop.
+        self.clock: LatencyClock = BlockingLatencyClock()
         #: Serializes store access across the threaded epoch scheduler's
         #: workers; uncontended (and therefore near-free) under the
         #: default serial schedule.
@@ -142,7 +151,7 @@ class UpdateStore(abc.ABC):
         return self._real_latency
 
     def pay_latency(self, seconds: float) -> None:
-        """Sleep ``seconds`` if this store injects real delays.
+        """Pay ``seconds`` through the clock if delays are real.
 
         Part of the store contract (every :class:`UpdateStore` provides
         it; this base implementation is the default): the transport layer
@@ -150,12 +159,15 @@ class UpdateStore(abc.ABC):
         unconditionally with the simulated-latency delta of the store
         call it just made, *after* releasing the store lock — concurrent
         sessions wait in parallel, exactly like clients of a real
-        networked store.  Third-party drivers must not remove it; a
+        networked store.  The wait itself is delegated to :attr:`clock`
+        (never an inline ``time.sleep`` — rule RPR010): blocking under
+        the serial and threaded schedules, accrued-and-awaited under the
+        asyncio schedule.  Third-party drivers must not remove it; a
         driver that charged latency but never paid it would silently
         break the paper's injected-delay experiments.
         """
         if self._real_latency and seconds > 0:
-            time.sleep(seconds)
+            self.clock.pay(seconds)
 
     # ------------------------------------------------------------------
 

@@ -136,7 +136,10 @@ class CentralUpdateStore(NetworkCentricMixin, UpdateStore):
     ) -> None:
         super().__init__(schema, message_latency, real_latency=real_latency)
         self._call_overhead = call_overhead_seconds
-        self._conn = sqlite3.connect(path)
+        # Store calls are serialized under ``self.lock`` by every caller
+        # (`RPR004`), so the connection may cross scheduler worker
+        # threads without its own thread affinity check.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA_SQL)
         self._policies: Dict[int, TrustPolicy] = {}

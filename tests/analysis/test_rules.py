@@ -43,6 +43,7 @@ FIXTURE_BY_CODE = {
     "RPR007": ("rpr007_set_iteration.txt", 2),
     "RPR008": ("rpr008_dict_parity.txt", 1),
     "RPR009": ("rpr009_kinds_registry.txt", 2),
+    "RPR010": ("rpr010_blocking_sleep.txt", 2),
 }
 
 

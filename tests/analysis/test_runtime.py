@@ -9,8 +9,9 @@ Three layers again:
   under the serial scheduler, wrapped in
   :class:`~repro.errors.SchedulerError` when a threaded worker trips it;
 * **transparency** — a fully instrumented confederation run (including
-  the threaded chaos matrix with a maskable fault plan) completes clean
-  with a decision stream byte-identical to the uninstrumented run.
+  the threaded *and async* chaos matrices with a maskable fault plan)
+  completes clean with a decision stream byte-identical to the
+  uninstrumented run.
 """
 
 from __future__ import annotations
@@ -206,6 +207,43 @@ def test_instrumented_threaded_chaos_run_is_clean_and_identical():
     assert guarded[2].faults.recoveries == 2
 
 
+def test_instrumented_async_chaos_run_is_clean_and_identical():
+    """PR 10's column: the pipelined scheduler's reconcile phase over
+    the replicated DHT with the maskable fault plan, every store touch
+    owner-checked.  All tasks share one thread, so the instrumented
+    lock's per-thread ownership still discriminates correctly: held
+    inside ``_store_phase``, not held across awaits.  Per-participant
+    streams must match the uninstrumented async run *and* the threaded
+    run byte-for-byte."""
+    plain = run_confederation(
+        "dht",
+        DHT_K2,
+        CHAOS_SEED,
+        faults=maskable_plan(CHAOS_SEED),
+        schedule_mode="async",
+    )
+    guarded = run_confederation(
+        "dht",
+        DHT_K2,
+        CHAOS_SEED,
+        instrument=True,
+        faults=maskable_plan(CHAOS_SEED),
+        schedule_mode="async",
+    )
+    threaded = run_confederation(
+        "dht",
+        DHT_K2,
+        CHAOS_SEED,
+        faults=maskable_plan(CHAOS_SEED),
+        schedule_mode="threaded",
+    )
+    assert guarded[0] == plain[0]  # async global order is deterministic
+    assert guarded[1] == plain[1]
+    assert per_participant(guarded[0]) == per_participant(threaded[0])
+    assert guarded[2].faults.injected.get("crash") == 1
+    assert guarded[2].faults.recoveries == 2
+
+
 # ----------------------------------------------------------------------
 # Detection: deliberate bypasses are caught
 
@@ -246,5 +284,29 @@ def test_unsynchronized_peek_is_caught_in_threaded_worker(monkeypatch):
             CHAOS_SEED,
             instrument=True,
             schedule_mode="threaded",
+        )
+    assert isinstance(info.value.__cause__, LockDisciplineError)
+
+
+def test_unsynchronized_peek_is_caught_in_async_task(monkeypatch):
+    """The same leaky reconcile under the pipelined scheduler: the
+    peek runs on the event-loop thread but *outside* the store lock,
+    so the proxy still trips, and the async scheduler wraps it with
+    the identical error surface as the threaded one."""
+    original = Participant.reconcile
+
+    def leaky_reconcile(self):
+        len(self.store._log)  # peek outside the lock, same thread
+        return original(self)
+
+    monkeypatch.setattr(Participant, "reconcile", leaky_reconcile)
+    run_confederation("memory", {}, CHAOS_SEED, schedule_mode="async")
+    with pytest.raises(SchedulerError, match="reconcile phase failed") as info:
+        run_confederation(
+            "memory",
+            {},
+            CHAOS_SEED,
+            instrument=True,
+            schedule_mode="async",
         )
     assert isinstance(info.value.__cause__, LockDisciplineError)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.confed import (
+    AsyncScheduler,
     Confederation,
     ConfederationConfig,
     HookBus,
@@ -47,6 +48,28 @@ def _decision_log(config):
     return sorted(log), snapshots, report
 
 
+def _raw_decision_log(config):
+    """Like ``_decision_log`` but keeps the global emission order."""
+    log = []
+    hooks = HookBus()
+    hooks.on_decision(
+        lambda **kw: log.append(
+            (kw["participant"], kw["recno"], str(kw["tid"]), str(kw["decision"]))
+        )
+    )
+    with Confederation(config, hooks=hooks) as confed:
+        confed.run()
+    return log
+
+
+def _per_participant(log):
+    """Group a decision log per participant, preserving each stream."""
+    streams = {}
+    for participant, *rest in log:
+        streams.setdefault(participant, []).append(tuple(rest))
+    return streams
+
+
 class TestSelection:
     def test_serial_is_the_default(self):
         assert ConfederationConfig().schedule_mode == "serial"
@@ -55,6 +78,12 @@ class TestSelection:
     def test_threaded_selected_by_mode(self):
         cfg = ConfederationConfig(schedule_mode="threaded", schedule_workers=3)
         assert isinstance(create_scheduler(cfg), ThreadedScheduler)
+
+    def test_async_selected_by_mode(self):
+        cfg = ConfederationConfig(schedule_mode="async", schedule_workers=3)
+        scheduler = create_scheduler(cfg)
+        assert isinstance(scheduler, AsyncScheduler)
+        assert scheduler._workers == 3
 
     def test_unknown_mode_rejected_by_validation(self):
         with pytest.raises(ConfigError, match="unknown schedule mode"):
@@ -80,14 +109,28 @@ class TestSelection:
         with pytest.raises(ConfigError, match="at least one worker"):
             ThreadedScheduler(workers=workers)
 
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_async_construction_rejects_non_positive_workers(self, workers):
+        # schedule_workers=0 is a ConfigError for async exactly as for
+        # threaded — never a silent fall-back to the default sizing.
+        with pytest.raises(ConfigError, match="at least one in-flight"):
+            AsyncScheduler(workers=workers)
+
+    def test_async_bad_worker_count_rejected_by_validation(self):
+        with pytest.raises(ConfigError, match="schedule_workers"):
+            ConfederationConfig(
+                schedule_mode="async", schedule_workers=0
+            ).validate()
+
     def test_explicit_worker_count_is_honoured(self):
         assert ThreadedScheduler(workers=2)._workers == 2
         assert ThreadedScheduler()._workers is None
 
-    def test_schedule_keys_round_trip(self):
-        cfg = ConfederationConfig(schedule_mode="threaded", schedule_workers=8)
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_schedule_keys_round_trip(self, mode):
+        cfg = ConfederationConfig(schedule_mode=mode, schedule_workers=8)
         wire = cfg.to_dict()
-        assert wire["schedule_mode"] == "threaded"
+        assert wire["schedule_mode"] == mode
         assert wire["schedule_workers"] == 8
         assert ConfederationConfig.from_dict(wire) == cfg
 
@@ -127,6 +170,64 @@ class TestThreadedSchedule:
         second = _decision_log(config)
         assert first[0] == second[0]
         assert first[1] == second[1]
+
+
+class TestAsyncSchedule:
+    def test_async_run_completes_and_counts(self):
+        with Confederation(_config(schedule_mode="async")) as confed:
+            report = confed.run()
+        assert report.transactions_published == 4 * 2 * 2
+        assert set(report.timings) == {1, 2, 3, 4}
+        for agg in report.timings.values():
+            assert agg.reconciliations == 3  # 2 rounds + final pass
+        assert report.scheduler == "async"
+
+    def test_async_global_stream_is_reproducible(self):
+        # Stronger than the threaded pin: one event loop interleaves
+        # whole synchronous segments in deterministic task order, so
+        # even the *global* decision stream reproduces byte-for-byte.
+        config = _config(schedule_mode="async")
+        assert _raw_decision_log(config) == _raw_decision_log(config)
+
+    def test_async_matches_threaded_per_participant(self):
+        # Same publish order, same RNG substreams, same three-phase
+        # rounds: each participant's decision stream is byte-identical
+        # between the threaded and async schedules.
+        threaded = _raw_decision_log(_config(schedule_mode="threaded"))
+        async_log = _raw_decision_log(_config(schedule_mode="async"))
+        assert _per_participant(async_log) == _per_participant(threaded)
+
+    def test_async_replicas_and_report_match_threaded(self):
+        threaded = _decision_log(_config(schedule_mode="threaded"))
+        async_run = _decision_log(_config(schedule_mode="async"))
+        assert async_run[0] == threaded[0]  # canonicalised decision log
+        assert async_run[1] == threaded[1]  # replica snapshots
+        assert async_run[2].state_ratio == threaded[2].state_ratio
+
+    def test_async_works_against_the_dht_store(self):
+        config = _config(
+            store="dht",
+            store_options={"hosts": 4},
+            schedule_mode="async",
+            rounds=1,
+        )
+        first = _decision_log(config)
+        second = _decision_log(config)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_async_honours_the_in_flight_cap(self):
+        config = _config(schedule_mode="async", schedule_workers=1)
+        capped = _raw_decision_log(config)
+        uncapped = _raw_decision_log(_config(schedule_mode="async"))
+        assert _per_participant(capped) == _per_participant(uncapped)
+
+    def test_async_restores_the_blocking_clock_after_the_run(self):
+        from repro.net.clock import BlockingLatencyClock
+
+        with Confederation(_config(schedule_mode="async")) as confed:
+            confed.run()
+            assert isinstance(confed.store.clock, BlockingLatencyClock)
 
 
 class TestFailFast:
@@ -169,10 +270,44 @@ class TestFailFast:
             ):
                 confed.run()
 
+    def test_async_edit_failure_aborts_before_the_publish_barrier(self):
+        from repro.errors import SchedulerError
+
+        with Confederation(_config(schedule_mode="async")) as confed:
+            broken = confed.participant(3)
+
+            def explode(updates):
+                raise RuntimeError("disk on fire")
+
+            broken.execute = explode
+            with pytest.raises(
+                SchedulerError, match="edit phase failed for participant 3"
+            ) as excinfo:
+                confed.run()
+            assert isinstance(excinfo.value.__cause__, RuntimeError)
+            assert confed.store.current_epoch() == 0
+            assert confed.report().transactions_published == 0
+
+    def test_async_reconcile_failure_names_the_participant(self):
+        from repro.errors import SchedulerError
+
+        with Confederation(_config(schedule_mode="async")) as confed:
+            broken = confed.participant(2)
+
+            def explode():
+                raise RuntimeError("session crashed")
+
+            broken.reconcile = explode
+            with pytest.raises(
+                SchedulerError,
+                match="reconcile phase failed for participant 2",
+            ):
+                confed.run()
+
 
 class TestEpochEndHook:
     def test_epoch_end_emitted_per_schedule_step(self):
-        for mode in ("serial", "threaded"):
+        for mode in ("serial", "threaded", "async"):
             events = []
             hooks = HookBus()
             hooks.on_epoch_end(lambda **kw: events.append(kw))

@@ -174,6 +174,34 @@ class TestConflictGroups:
         assert group.group_id == (group.kind, group.key)
         assert set(group.transactions()) == {a.tid, b.tid}
 
+    def test_deletes_of_different_versions_stay_separate_options(self, schema):
+        """Deletions of *different row versions* of one key are mutually
+        conflicting (only one antecedent exists), so collapsing them into
+        a single shared option would leave a "conflict group" with no
+        alternatives.  They must partition into one option each — found
+        by Hypothesis (test_conflict_groups_offer_choices, seed 567)."""
+        builder = GraphBuilder()
+        base = make_transaction(1, 0, [Insert("F", RAT1, 1)])
+        builder.add(base)
+        del_a = make_transaction(2, 0, [Delete("F", RAT1, 2)])
+        del_b = make_transaction(3, 0, [Delete("F", RAT1_IMMUNE, 3)])
+        builder.add(del_a, antecedents=[base.tid])
+        builder.add(del_b, antecedents=[base.tid])
+        applied = {base.tid}
+        deferred = {
+            txn.tid: extension_of(schema, builder, txn, applied=applied)
+            for txn in (del_a, del_b)
+        }
+        groups = build_conflict_groups(schema, builder.graph, deferred)
+        [group] = groups.values()
+        assert group.kind == "delete/delete"
+        assert len(group.options) == 2
+        assert all(opt.effect is None for opt in group.options)
+        assert {opt.transactions for opt in group.options} == {
+            (del_a.tid,),
+            (del_b.tid,),
+        }
+
     def test_delete_option_effect_is_none(self, schema):
         builder = GraphBuilder()
         base = make_transaction(1, 0, [Insert("F", RAT1, 1)])

@@ -11,7 +11,13 @@ Unmaskable faults must surface loudly, and the surface is pinned per
 schedule mode: an unbounded black hole raises
 :class:`~repro.errors.RetryExhaustedError` under the serial scheduler
 and is wrapped in :class:`~repro.errors.SchedulerError` by the threaded
-one.
+and async ones.
+
+Since PR 10 the maskable matrix has an async column too: under
+``schedule_mode="async"`` the same chaos plan must leave every
+participant's decision stream byte-identical to the fault-free async
+*and* threaded runs — pipelining the latency waits may only change
+wall-clock time, never verdicts.
 """
 
 from __future__ import annotations
@@ -200,6 +206,61 @@ def test_unmaskable_fault_raises_retry_exhausted_serial():
         run_confederation(
             "dht", {"hosts": 5, "max_retries": 2}, 11, faults=BLACK_HOLE
         )
+
+
+def per_participant(log):
+    """Group a decision log per participant, preserving stream order."""
+    streams = {}
+    for participant, *rest in log:
+        streams.setdefault(participant, []).append(tuple(rest))
+    return streams
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_maskable_faults_byte_identical_under_async_schedule(seed):
+    """PR 10's async column of the chaos matrix: the maskable
+    everything-at-once plan, replayed under the pipelined scheduler,
+    must leave each participant's decision stream byte-identical to
+    the fault-free async run — and, per the cross-schedule contract,
+    to the fault-free threaded run as well.  The async global order is
+    itself deterministic (decisions are emitted inside synchronous
+    segments that the event loop interleaves in task order), so the
+    fault-free comparison can be made on the full stream."""
+    fault_free = run_confederation(
+        "dht", DHT_K2, seed, schedule_mode="async"
+    )
+    chaotic = run_confederation(
+        "dht", DHT_K2, seed, faults=maskable_plan(seed),
+        schedule_mode="async",
+    )
+    threaded = run_confederation("dht", DHT_K2, seed, schedule_mode="threaded")
+    assert chaotic[0] == fault_free[0]  # full stream, order included
+    assert chaotic[1] == fault_free[1]
+    assert chaotic[2].state_ratio == fault_free[2].state_ratio
+    assert per_participant(chaotic[0]) == per_participant(threaded[0])
+    assert chaotic[1] == threaded[1]
+    # ... and the faults really happened under the event loop too.
+    summary = chaotic[2].faults
+    assert summary.injected.get("crash") == 1
+    assert summary.recoveries == 2
+    assert summary.retries >= 1
+
+
+def test_unmaskable_fault_raises_scheduler_error_async():
+    """The async scheduler pins the same failure surface as the
+    threaded one: the first (lowest-id) per-participant reconcile
+    failure is wrapped in SchedulerError before the publish barrier of
+    the next round, with the transport error kept as the cause."""
+    with pytest.raises(SchedulerError) as excinfo:
+        run_confederation(
+            "dht",
+            {"hosts": 5, "max_retries": 2},
+            11,
+            faults=BLACK_HOLE,
+            schedule_mode="async",
+        )
+    assert "reconcile phase failed" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, RetryExhaustedError)
 
 
 def test_unmaskable_fault_raises_scheduler_error_threaded():

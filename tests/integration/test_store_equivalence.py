@@ -74,7 +74,13 @@ def test_stores_produce_identical_outcomes(seed):
 # PR 3: byte-identical decision pins for DHT shipping parity
 
 
-def run_with_decision_log(store_name, store_options, seed, network_centric=False):
+def run_with_decision_log(
+    store_name,
+    store_options,
+    seed,
+    network_centric=False,
+    schedule_mode="serial",
+):
     """Replay the seeded evaluation schedule, recording every decision
     event (participant, recno, tid, verdict) in emission order."""
     config = ConfederationConfig(
@@ -85,6 +91,7 @@ def run_with_decision_log(store_name, store_options, seed, network_centric=False
         rounds=3,
         final_reconcile=True,
         network_centric=network_centric,
+        schedule_mode=schedule_mode,
         workload=WorkloadConfig(transaction_size=2, seed=seed),
     )
     log = []
@@ -149,3 +156,58 @@ def test_equivalence_matrix_with_store_computed_batches(seed):
         assert other[0] == reference[0]  # decision stream, order included
         assert other[1] == reference[1]  # replica snapshots
         assert other[2] == reference[2]  # state ratio
+
+
+# ----------------------------------------------------------------------
+# PR 10: the matrix under the async schedule
+
+
+def per_participant(log):
+    """Group a decision log per participant, preserving stream order."""
+    streams = {}
+    for participant, *rest in log:
+        streams.setdefault(participant, []).append(tuple(rest))
+    return streams
+
+
+@pytest.mark.parametrize("seed", [7, 29])
+def test_equivalence_matrix_under_async_schedule(seed):
+    """The store-equivalence pin holds under ``schedule_mode="async"``:
+    every backend (client- and store-computed) must emit the *same
+    global* decision stream — the single event loop interleaves whole
+    synchronous segments in deterministic task order, so even the
+    cross-participant order is pinned — and that stream must agree
+    per participant with the threaded schedule's."""
+    matrix = [
+        run_with_decision_log(
+            "dht", {"hosts": 5}, seed, network_centric="store",
+            schedule_mode="async",
+        ),
+        run_with_decision_log("dht", {"hosts": 5}, seed, schedule_mode="async"),
+        run_with_decision_log(
+            "dht", {"hosts": 5, "ship_context_free": False}, seed,
+            schedule_mode="async",
+        ),
+        run_with_decision_log("memory", {}, seed, schedule_mode="async"),
+        run_with_decision_log("central", {}, seed, schedule_mode="async"),
+        run_with_decision_log(
+            "central", {}, seed, network_centric="store", schedule_mode="async"
+        ),
+        run_with_decision_log(
+            "durable", {"cache_size": 4}, seed, schedule_mode="async"
+        ),
+    ]
+    reference = matrix[0]
+    for other in matrix[1:]:
+        assert other[0] == reference[0]  # global stream, order included
+        assert other[1] == reference[1]  # replica snapshots
+        assert other[2] == reference[2]  # state ratio
+    # Across schedules the contract is per participant: async and
+    # threaded share publish order and RNG substreams, so each
+    # participant's stream is byte-identical between the two modes.
+    threaded = run_with_decision_log(
+        "central", {}, seed, schedule_mode="threaded"
+    )
+    assert per_participant(reference[0]) == per_participant(threaded[0])
+    assert reference[1] == threaded[1]
+    assert reference[2] == threaded[2]

@@ -1,0 +1,123 @@
+"""The latency-clock seam: blocking vs awaitable payment."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.net.clock import (
+    AsyncLatencyClock,
+    BlockingLatencyClock,
+    LatencyClock,
+)
+from repro.store.base import UpdateStore
+from repro.store.memory import MemoryUpdateStore
+from repro.workload import curated_schema
+
+
+class TestBlockingClock:
+    def test_is_the_latency_clock_default(self):
+        store = MemoryUpdateStore(curated_schema())
+        assert isinstance(store.clock, BlockingLatencyClock)
+        assert isinstance(store.clock, LatencyClock)
+
+    def test_pay_blocks_for_the_requested_seconds(self):
+        clock = BlockingLatencyClock()
+        started = time.perf_counter()
+        clock.pay(0.02)
+        assert time.perf_counter() - started >= 0.015
+
+    def test_pay_latency_routes_through_the_clock(self):
+        class CountingClock(LatencyClock):
+            """Records payments instead of waiting."""
+
+            def __init__(self):
+                self.paid = []
+
+            def pay(self, seconds):
+                self.paid.append(seconds)
+
+        store = MemoryUpdateStore(curated_schema(), real_latency=True)
+        store.clock = clock = CountingClock()
+        store.pay_latency(0.25)
+        store.pay_latency(0.0)  # gated: nothing to pay
+        assert clock.paid == [0.25]
+
+    def test_no_payment_without_real_latency(self):
+        class ExplodingClock(LatencyClock):
+            """Fails the test if any payment reaches it."""
+
+            def pay(self, seconds):
+                raise AssertionError("paid latency on a simulated-only store")
+
+        store = MemoryUpdateStore(curated_schema())  # real_latency=False
+        store.clock = ExplodingClock()
+        store.pay_latency(0.25)  # charged, never paid
+
+    def test_every_update_store_carries_a_clock(self):
+        assert isinstance(UpdateStore.pay_latency, object)
+        store = MemoryUpdateStore(curated_schema())
+        assert hasattr(store, "clock")
+
+
+class TestAsyncClock:
+    def test_pay_accrues_per_task_and_drain_awaits(self):
+        clock = AsyncLatencyClock()
+
+        async def worker(seconds):
+            clock.pay(seconds)
+            clock.pay(seconds)  # payments within a segment coalesce
+            assert clock.outstanding >= 2 * seconds
+            await clock.drain()
+
+        async def main():
+            started = time.perf_counter()
+            await asyncio.gather(worker(0.02), worker(0.02))
+            return time.perf_counter() - started
+
+        elapsed = asyncio.run(main())
+        # Each task owes 0.04s; the two waits overlap on the loop.
+        assert elapsed >= 0.03
+        assert elapsed < 0.1
+        assert clock.outstanding == 0.0
+        assert clock.total_paid >= 0.08
+
+    def test_debts_are_isolated_per_task(self):
+        clock = AsyncLatencyClock()
+        seen = {}
+
+        async def worker(name, seconds):
+            clock.pay(seconds)
+            before = clock._debts[asyncio.current_task()]
+            await clock.drain()
+            seen[name] = before
+
+        asyncio.run(
+            asyncio.wait_for(
+                _gather(worker("a", 0.001), worker("b", 0.002)), timeout=5
+            )
+        )
+        assert seen == {"a": 0.001, "b": 0.002}
+
+    def test_drain_without_debt_is_a_no_op(self):
+        clock = AsyncLatencyClock()
+
+        async def main():
+            await clock.drain()
+
+        asyncio.run(main())
+        assert clock.total_paid == 0.0
+
+    def test_pay_outside_a_task_degrades_to_blocking(self):
+        # A store used standalone while the async clock happens to be
+        # installed must still pay — latency is never silently dropped.
+        clock = AsyncLatencyClock()
+        started = time.perf_counter()
+        clock.pay(0.02)
+        assert time.perf_counter() - started >= 0.015
+        assert clock.outstanding == 0.0
+
+
+async def _gather(*coroutines):
+    """``asyncio.gather`` as a coroutine (for ``wait_for``)."""
+    return await asyncio.gather(*coroutines)
